@@ -1,0 +1,91 @@
+// Ablation: the effect of the window TYPE on the aggregated series
+// (disjoint vs sliding vs growing), reproducing the comparison dimension the
+// paper cites from [37] ("both the length and the type of the windows used
+// have a strong impact").
+//
+// For one dataset and a range of Delta, prints mean snapshot density and
+// largest connected component under the three schemes.  Expected shapes:
+// sliding windows track disjoint windows (same window length, more
+// snapshots); growing windows blow up monotonically to the fully aggregated
+// graph regardless of Delta — the starkest illustration of why the window
+// scheme matters before any time-scale question is even asked.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/delta_grid.hpp"
+#include "gen/replicas.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/metrics.hpp"
+#include "linkstream/aggregation.hpp"
+#include "linkstream/window_variants.hpp"
+#include "util/table.hpp"
+
+using namespace natscale;
+using namespace natscale::bench;
+
+namespace {
+
+struct SeriesShape {
+    double mean_density = 0.0;
+    double mean_lcc = 0.0;
+    std::size_t snapshots = 0;
+};
+
+SeriesShape shape_of(const GraphSeries& series) {
+    SeriesShape shape;
+    EpochUnionFind uf(series.num_nodes());
+    for (const auto& snap : series.snapshots()) {
+        shape.mean_density += density(snap.edges.size(), series.num_nodes(), series.directed());
+        shape.mean_lcc += static_cast<double>(summarize_components(snap.edges, uf).largest_component);
+    }
+    shape.snapshots = series.num_nonempty_windows();
+    if (shape.snapshots > 0) {
+        shape.mean_density /= static_cast<double>(shape.snapshots);
+        shape.mean_lcc /= static_cast<double>(shape.snapshots);
+    }
+    return shape;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const BenchConfig config = parse_args(argc, argv);
+    banner(config, "Ablation: disjoint vs sliding vs growing windows (Enron)");
+    Stopwatch watch;
+
+    const ReplicaSpec spec = config.paper_scale ? enron_spec() : enron_spec().scaled(0.4);
+    const LinkStream stream = generate_replica(spec, config.seed);
+
+    const auto grid = geometric_delta_grid(3'600, stream.period_end() / 4,
+                                           config.paper_scale ? 10 : 6);
+
+    ConsoleTable table({"Delta", "disjoint dens", "sliding dens", "growing dens",
+                        "disjoint LCC", "sliding LCC", "growing LCC"});
+    DataSeries series;
+    series.name = "ablation: window-type effect on density and LCC, Enron replica";
+    series.column_names = {"delta_s",      "disjoint_density", "sliding_density",
+                           "growing_density", "disjoint_lcc",  "sliding_lcc",
+                           "growing_lcc"};
+    for (Time delta : grid) {
+        const auto disjoint = shape_of(aggregate(stream, delta));
+        const auto sliding = shape_of(aggregate_sliding(stream, delta, delta / 2 + 1));
+        const auto growing = shape_of(aggregate_growing(stream, delta));
+        table.add_row({format_duration(static_cast<double>(delta)),
+                       format_fixed(disjoint.mean_density, 5),
+                       format_fixed(sliding.mean_density, 5),
+                       format_fixed(growing.mean_density, 5),
+                       format_fixed(disjoint.mean_lcc, 1), format_fixed(sliding.mean_lcc, 1),
+                       format_fixed(growing.mean_lcc, 1)});
+        series.rows.push_back({static_cast<double>(delta), disjoint.mean_density,
+                               sliding.mean_density, growing.mean_density, disjoint.mean_lcc,
+                               sliding.mean_lcc, growing.mean_lcc});
+    }
+    table.print(std::cout);
+    write_dat(dat_path(config, "ablation_windows"), series);
+
+    std::printf("\nreading: sliding windows shadow the disjoint ones; growing windows\n"
+                "saturate towards the total graph and erase the notion of time scale —\n"
+                "the occupancy method is defined on disjoint windows for a reason.\n");
+    footer(watch, config, "ablation_windows.dat");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --scale=quick|paper   workload size (default quick: minutes-not-hours on
+//                         a laptop; paper: the full grids/sizes of the paper)
+//   --out=DIR             where to write gnuplot .dat files (default
+//                         "bench_out", created if missing)
+//   --seed=N              RNG seed for the synthetic workloads (default 7)
+//
+// Each bench prints the rows/series of its paper figure to stdout and dumps
+// the same data as .dat files for re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/format.hpp"
+#include "util/gnuplot.hpp"
+#include "util/timer.hpp"
+
+namespace natscale::bench {
+
+struct BenchConfig {
+    bool paper_scale = false;
+    std::string out_dir = "bench_out";
+    std::uint64_t seed = 7;
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+    BenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scale=paper") {
+            config.paper_scale = true;
+        } else if (arg == "--scale=quick") {
+            config.paper_scale = false;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            config.out_dir = arg.substr(6);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            config.seed = std::stoull(arg.substr(7));
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' "
+                                 "(expected --scale=quick|paper, --out=DIR, --seed=N)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    std::filesystem::create_directories(config.out_dir);
+    return config;
+}
+
+inline std::string dat_path(const BenchConfig& config, const std::string& name) {
+    return config.out_dir + "/" + name + ".dat";
+}
+
+inline void banner(const BenchConfig& config, const std::string& what) {
+    std::printf("=== %s [%s scale] ===\n", what.c_str(),
+                config.paper_scale ? "paper" : "quick");
+}
+
+inline void footer(const Stopwatch& watch, const BenchConfig& config,
+                   const std::string& files) {
+    std::printf("done in %s; data written to %s/%s\n\n",
+                format_duration(watch.elapsed_seconds()).c_str(), config.out_dir.c_str(),
+                files.c_str());
+}
+
+}  // namespace natscale::bench

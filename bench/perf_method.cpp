@@ -1,0 +1,69 @@
+// Performance benchmark for the end-to-end occupancy method
+// (google-benchmark): cost as a function of the Delta-grid resolution and of
+// the workload size.  The paper notes the sweep is dominated by the small-
+// Delta evaluations (M is largest there); the per-grid-point counters expose
+// that.
+#include <benchmark/benchmark.h>
+
+#include "core/saturation.hpp"
+#include "gen/replicas.hpp"
+#include "gen/uniform_stream.hpp"
+
+namespace {
+
+using namespace natscale;
+
+/// Full method on a small Enron-like replica, sweeping grid resolution.
+void BM_OccupancyMethod_GridResolution(benchmark::State& state) {
+    const auto spec = enron_spec().scaled(0.2);
+    const auto stream = generate_replica(spec, 7);
+    SaturationOptions options;
+    options.coarse_points = static_cast<std::size_t>(state.range(0));
+    options.refine_rounds = 1;
+    options.refine_points = 6;
+    for (auto _ : state) {
+        const auto result = find_saturation_scale(stream, options);
+        benchmark::DoNotOptimize(result.gamma);
+    }
+    state.counters["grid_points"] = static_cast<double>(options.coarse_points);
+}
+BENCHMARK(BM_OccupancyMethod_GridResolution)->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full method vs workload size (time-uniform networks).
+void BM_OccupancyMethod_WorkloadSize(benchmark::State& state) {
+    UniformStreamSpec spec;
+    spec.num_nodes = static_cast<NodeId>(state.range(0));
+    spec.links_per_pair = 6;
+    spec.period_end = 50'000;
+    const auto stream = generate_uniform_stream(spec, 3);
+    SaturationOptions options;
+    options.coarse_points = 24;
+    options.refine_rounds = 1;
+    options.refine_points = 6;
+    for (auto _ : state) {
+        const auto result = find_saturation_scale(stream, options);
+        benchmark::DoNotOptimize(result.gamma);
+    }
+    state.counters["events"] = static_cast<double>(stream.num_events());
+}
+BENCHMARK(BM_OccupancyMethod_WorkloadSize)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+/// Single-Delta evaluation (the sweep's unit of work).
+void BM_EvaluateDelta(benchmark::State& state) {
+    const auto spec = manufacturing_spec().scaled(0.2);
+    const auto stream = generate_replica(spec, 9);
+    SaturationOptions options;
+    const Time delta = state.range(0);
+    for (auto _ : state) {
+        const auto point = evaluate_delta(stream, delta, options, nullptr);
+        benchmark::DoNotOptimize(point.num_trips);
+    }
+}
+BENCHMARK(BM_EvaluateDelta)->Arg(60)->Arg(3'600)->Arg(86'400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

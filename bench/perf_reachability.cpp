@@ -1,0 +1,111 @@
+// Performance benchmark for the minimal-trip backward DP (google-benchmark).
+//
+// Validates the paper's Section 5 complexity claim — O(nM) time, where n is
+// the node count and M the total number of edges over all snapshots — by
+// sweeping n at fixed M and M at fixed n: both sweeps should scale linearly.
+// Also measures aggregation itself and a full occupancy-histogram pass.
+#include <benchmark/benchmark.h>
+
+#include "core/occupancy.hpp"
+#include "linkstream/aggregation.hpp"
+#include "temporal/reachability.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace natscale;
+
+LinkStream random_stream(std::uint64_t seed, NodeId n, std::size_t events, Time period) {
+    Rng rng(seed);
+    std::vector<Event> list;
+    list.reserve(events);
+    for (std::size_t i = 0; i < events; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        list.push_back({u, v, rng.uniform_int(0, period - 1)});
+    }
+    return LinkStream(std::move(list), n, period, false);
+}
+
+/// O(nM) check, n sweep: M fixed at ~20k edges, n = 64..512.
+void BM_MinimalTripScan_NodeSweep(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    const auto stream = random_stream(1, n, 20'000, 100'000);
+    const auto series = aggregate(stream, 25);
+    TemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    state.counters["nM_per_s"] = benchmark::Counter(
+        static_cast<double>(n) * static_cast<double>(series.total_edges()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MinimalTripScan_NodeSweep)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// O(nM) check, M sweep: n fixed at 128, events 5k..80k.
+void BM_MinimalTripScan_EdgeSweep(benchmark::State& state) {
+    const auto events = static_cast<std::size_t>(state.range(0));
+    const auto stream = random_stream(2, 128, events, 200'000);
+    const auto series = aggregate(stream, 20);
+    TemporalReachability engine;
+    for (auto _ : state) {
+        std::uint64_t trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["nM_per_s"] = benchmark::Counter(
+        128.0 * static_cast<double>(series.total_edges()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MinimalTripScan_EdgeSweep)->Arg(5'000)->Arg(20'000)->Arg(80'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Stream-mode scan (validation substrate): distinct-timestamp granularity.
+void BM_MinimalTripScan_StreamMode(benchmark::State& state) {
+    const auto stream = random_stream(3, 128, static_cast<std::size_t>(state.range(0)),
+                                      500'000);
+    TemporalReachability engine;
+    for (auto _ : state) {
+        std::uint64_t trips = 0;
+        engine.scan_stream(stream, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+}
+BENCHMARK(BM_MinimalTripScan_StreamMode)->Arg(10'000)->Arg(40'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Aggregation alone (sort + dedup per window).
+void BM_Aggregate(benchmark::State& state) {
+    const auto stream = random_stream(4, 256, 100'000, 1'000'000);
+    const Time delta = state.range(0);
+    for (auto _ : state) {
+        const auto series = aggregate(stream, delta);
+        benchmark::DoNotOptimize(series.total_edges());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_Aggregate)->Arg(1)->Arg(1'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+/// One full occupancy-histogram evaluation (aggregate + scan + bin).
+void BM_OccupancyHistogram(benchmark::State& state) {
+    const auto stream = random_stream(5, 200, 30'000, 500'000);
+    const Time delta = state.range(0);
+    for (auto _ : state) {
+        const auto hist = occupancy_histogram(stream, delta);
+        benchmark::DoNotOptimize(hist.total());
+    }
+}
+BENCHMARK(BM_OccupancyHistogram)->Arg(100)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

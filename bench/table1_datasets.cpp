@@ -1,0 +1,99 @@
+// Reproduces the dataset table of the paper's Section 5: the four real-world
+// link streams, their activity levels, and the saturation scale returned by
+// the occupancy method, side by side with the published values.
+//
+// Published (real traces): irvine 18h @ 0.66 msg/p/day, facebook 46h @ 0.12,
+// enron 78h @ 0.29, manufacturing 12h @ 2.22.  The replicas match sizes and
+// activity; gammas are expected to match in ordering and order of magnitude
+// (half a day to three days), not exactly.
+#include "bench_common.hpp"
+#include "core/saturation.hpp"
+#include "gen/replicas.hpp"
+#include "linkstream/stream_stats.hpp"
+#include "util/table.hpp"
+
+using namespace natscale;
+using namespace natscale::bench;
+
+int main(int argc, char** argv) {
+    const BenchConfig config = parse_args(argc, argv);
+    banner(config, "Table 1 (Section 5): datasets, activity and saturation scales");
+    Stopwatch watch;
+
+    struct PaperRow {
+        ReplicaSpec spec;
+        double paper_gamma_hours;
+        double paper_activity;
+    };
+    const std::vector<PaperRow> rows{{irvine_spec(), 18.0, 0.66},
+                                     {facebook_spec(), 46.0, 0.12},
+                                     {enron_spec(), 78.0, 0.29},
+                                     {manufacturing_spec(), 12.0, 2.22}};
+
+    ConsoleTable table({"dataset", "nodes", "events", "duration", "activity", "act(paper)",
+                        "gamma", "gamma(paper)"});
+    DataSeries series;
+    series.name = "table1: activity vs gamma per dataset";
+    series.column_names = {"activity_msg_node_day", "gamma_hours", "paper_gamma_hours"};
+
+    std::vector<std::pair<double, Time>> activity_gamma;
+    for (const auto& row : rows) {
+        const ReplicaSpec spec = config.paper_scale ? row.spec : row.spec.scaled(0.3);
+        const LinkStream stream = generate_replica(spec, config.seed);
+        const auto stats = compute_stream_stats(stream);
+
+        SaturationOptions options;
+        options.coarse_points = config.paper_scale ? 48 : 30;
+        options.refine_rounds = 2;
+        options.refine_points = 8;
+        const SaturationResult result = find_saturation_scale(stream, options);
+
+        table.add_row({spec.name, std::to_string(stats.num_nodes),
+                       format_count(stats.num_events),
+                       format_duration(static_cast<double>(stats.period_end)),
+                       format_fixed(stats.events_per_node_per_day, 2),
+                       format_fixed(row.paper_activity, 2),
+                       format_duration(static_cast<double>(result.gamma)),
+                       format_duration(row.paper_gamma_hours * 3600.0)});
+        series.rows.push_back({stats.events_per_node_per_day,
+                               seconds_to_hours(static_cast<double>(result.gamma)),
+                               row.paper_gamma_hours});
+        activity_gamma.emplace_back(stats.events_per_node_per_day, result.gamma);
+    }
+    table.print(std::cout);
+    write_dat(dat_path(config, "table1_datasets"), series);
+
+    // The Section 5 claim: "the average activity has a strong influence on
+    // the saturation scale" — high activity goes with small gamma.  Checked
+    // as a Spearman rank correlation; the paper's own values (46h/78h for
+    // the two low-activity networks, 18h/12h for the two high-activity
+    // ones) give rho = -0.8.
+    auto rank_of = [&](auto key) {
+        std::vector<double> keys;
+        for (const auto& ag : activity_gamma) keys.push_back(key(ag));
+        std::vector<double> ranks(keys.size());
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            for (std::size_t j = 0; j < keys.size(); ++j) {
+                if (keys[j] < keys[i]) ranks[i] += 1.0;
+            }
+        }
+        return ranks;
+    };
+    const auto activity_ranks = rank_of([](const auto& ag) { return ag.first; });
+    const auto gamma_ranks =
+        rank_of([](const auto& ag) { return static_cast<double>(ag.second); });
+    double d_squared = 0.0;
+    const double count = static_cast<double>(activity_gamma.size());
+    for (std::size_t i = 0; i < activity_gamma.size(); ++i) {
+        const double d = activity_ranks[i] - gamma_ranks[i];
+        d_squared += d * d;
+    }
+    const double spearman = 1.0 - 6.0 * d_squared / (count * (count * count - 1.0));
+    std::printf("\nanti-correlation check (activity vs gamma): Spearman rho = %.2f "
+                "(paper's own values: -0.80) -> %s\n",
+                spearman, spearman <= -0.5 ? "holds" : "VIOLATED");
+    std::printf("paper: \"values between half a day and three days\" — replicas: see "
+                "table.\n");
+    footer(watch, config, "table1_datasets.dat");
+    return 0;
+}

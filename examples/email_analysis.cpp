@@ -1,0 +1,68 @@
+// email_analysis — the workflow of the paper's Section 5 on one dataset:
+// characterize an e-mail network, find its saturation scale, and inspect how
+// the graph series looks at (and around) gamma.
+//
+// Uses a downscaled Enron replica so the example runs in seconds; pass
+// `--full` for the full-size replica (published node/event counts).
+//
+// Run:  ./build/examples/email_analysis [--full]
+#include <cstring>
+#include <iostream>
+
+#include "core/classical_properties.hpp"
+#include "core/report.hpp"
+#include "linkstream/aggregation.hpp"
+#include "core/saturation.hpp"
+#include "core/validation.hpp"
+#include "gen/replicas.hpp"
+#include "linkstream/stream_stats.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace natscale;
+
+int main(int argc, char** argv) {
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    const ReplicaSpec spec = full ? enron_spec() : enron_spec().scaled(0.4);
+
+    Stopwatch watch;
+    const LinkStream stream = generate_replica(spec, /*seed=*/2001);
+    std::cout << "generated the '" << spec.name << "' replica in "
+              << format_duration(watch.elapsed_seconds()) << "\n";
+    print_stream_summary(std::cout, spec.name, compute_stream_stats(stream));
+
+    // --- The saturation scale ------------------------------------------------
+    watch.reset();
+    SaturationOptions options;
+    options.coarse_points = full ? 48 : 32;
+    const SaturationResult result = find_saturation_scale(stream, options);
+    std::cout << "occupancy method finished in " << format_duration(watch.elapsed_seconds())
+              << ": " << saturation_summary(result) << "\n\n";
+
+    // --- What the series looks like below, at and beyond gamma ---------------
+    ConsoleTable table({"Delta", "snapshots", "mean density", "mean LCC", "lost transitions",
+                        "verdict"});
+    const ShortestTransitionSet transitions(stream);
+    for (const Time delta : {result.gamma / 16, result.gamma, result.gamma * 16}) {
+        if (delta < 1 || delta > stream.period_end()) continue;
+        const auto point = classical_properties(stream, delta, /*with_distances=*/false);
+        const char* verdict = delta < result.gamma   ? "faithful"
+                              : delta == result.gamma ? "last non-altering scale"
+                                                      : "propagation altered";
+        table.add_row({format_duration(static_cast<double>(delta)),
+                       std::to_string(num_windows(stream.period_end(), delta)),
+                       format_fixed(point.mean_density_nonempty, 5),
+                       format_fixed(point.mean_largest_cc, 1),
+                       format_fixed(transitions.lost_fraction(delta) * 100.0, 1) + "%",
+                       verdict});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: messages in this network take hours-to-days to be answered;\n"
+                 "aggregating by "
+              << format_duration(static_cast<double>(result.gamma))
+              << " windows (or less) keeps who-could-inform-whom intact, while coarser\n"
+                 "windows erase send/reply orders and silently drop propagation routes.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+// proximity_sensors — applying the occupancy method to LASTING links.
+//
+// RFID/Bluetooth proximity deployments (hospital wards, schools,
+// conferences — the paper's refs [5, 40, 44]) measure contacts that last
+// over intervals, while the occupancy method is defined for punctual links;
+// extending it to lasting links is the paper's first future-work
+// perspective (Section 9).  The bridge implemented here mirrors how the
+// sensors themselves work: the interval network is oversampled with a
+// polling clock (SocioPatterns hardware reports presence every 20 s), and
+// the method runs on the resulting punctual stream.
+//
+// The example also shows the pitfall the related work [12, 3] studies:
+// contacts shorter than the polling period vanish, so the effective
+// resolution of the stream is the polling period, and gamma must be read
+// relative to it.
+//
+// Run:  ./build/examples/proximity_sensors
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/saturation.hpp"
+#include "linkstream/interval_stream.hpp"
+#include "linkstream/stream_stats.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace natscale;
+
+namespace {
+
+/// A day of ward-style contacts: 40 people, contact sessions of 30 s - 20 min
+/// concentrated in bursts (rounds, meals), quiet nights.
+IntervalStream ward_contacts() {
+    Rng rng(2024);
+    std::vector<IntervalEvent> intervals;
+    constexpr Time kDay = 86'400;
+    // Activity bursts at 9h, 12h30 and 17h, each ~90 min wide.
+    const std::vector<Time> burst_centers{9 * 3'600, 12 * 3'600 + 1'800, 17 * 3'600};
+    for (int c = 0; c < 900; ++c) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(40));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(40));
+        if (u == v) v = (v + 1) % 40;
+        const Time center = burst_centers[rng.uniform_index(burst_centers.size())];
+        const Time start = std::clamp<Time>(
+            center + rng.uniform_int(-2'700, 2'700), 0, kDay - 60);
+        const Time length = 30 + static_cast<Time>(rng.exponential(1.0 / 180.0));
+        intervals.push_back({u, v, start, std::min<Time>(start + length, kDay)});
+    }
+    return IntervalStream(std::move(intervals), 40, kDay);
+}
+
+}  // namespace
+
+int main() {
+    const IntervalStream contacts = ward_contacts();
+    std::cout << "interval network: " << contacts.num_intervals() << " contact sessions, "
+              << contacts.num_nodes() << " people, total contact time "
+              << format_duration(static_cast<double>(contacts.total_active_time()))
+              << " over one day\n\n";
+
+    ConsoleTable table({"polling period", "sampled events", "gamma", "gamma/polling"});
+    for (const Time polling : {5, 20, 60}) {
+        OversampleOptions sampling;
+        sampling.sampling_period = polling;
+        const LinkStream stream = oversample(contacts, sampling);
+
+        SaturationOptions options;
+        options.coarse_points = 28;
+        options.min_delta = polling;  // no sense probing below the sensor clock
+        const SaturationResult result = find_saturation_scale(stream, options);
+
+        table.add_row({format_duration(static_cast<double>(polling)),
+                       format_count(stream.num_events()),
+                       format_duration(static_cast<double>(result.gamma)),
+                       format_fixed(static_cast<double>(result.gamma) /
+                                        static_cast<double>(polling), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: the saturation scale of the contact network is a property\n"
+                 "of the dynamics, not of the sensor: once the polling period is fine\n"
+                 "enough, gamma stabilizes in absolute terms.  Aggregating the ward's\n"
+                 "contact data into windows coarser than gamma would misestimate every\n"
+                 "transmission-route analysis built on the snapshots.\n";
+    return 0;
+}

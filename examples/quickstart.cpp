@@ -1,0 +1,54 @@
+// Quickstart: the complete natscale workflow in ~60 lines.
+//
+//   1. build (or load) a link stream,
+//   2. aggregate it at some period and look at a snapshot,
+//   3. run the occupancy method to find the saturation scale gamma,
+//   4. decide which aggregation periods are safe for propagation analyses.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/saturation.hpp"
+#include "gen/uniform_stream.hpp"
+#include "graph/metrics.hpp"
+#include "linkstream/aggregation.hpp"
+#include "linkstream/stream_stats.hpp"
+#include "util/format.hpp"
+
+using namespace natscale;
+
+int main() {
+    // 1. A synthetic link stream: 50 nodes, 8 links per pair, ~28 hours.
+    //    (Use load_link_stream("mytrace.txt") for a real `u v t` file.)
+    UniformStreamSpec spec;
+    spec.num_nodes = 50;
+    spec.links_per_pair = 8;
+    spec.period_end = 100'000;  // seconds
+    const LinkStream stream = generate_uniform_stream(spec, /*seed=*/42);
+
+    print_stream_summary(std::cout, "quickstart", compute_stream_stats(stream));
+
+    // 2. Aggregate at 10 minutes and inspect the middle snapshot.
+    const GraphSeries series = aggregate(stream, /*delta=*/600);
+    const WindowIndex mid = series.num_windows() / 2;
+    const StaticGraph snapshot = series.graph_at(mid);
+    std::printf("aggregated at 10min: %lld windows, snapshot %lld has %zu edges "
+                "(density %.4f)\n",
+                static_cast<long long>(series.num_windows()), static_cast<long long>(mid),
+                snapshot.num_edges(), density(snapshot));
+
+    // 3. The occupancy method: fully automatic, no parameters needed.
+    SaturationOptions options;
+    options.coarse_points = 32;
+    const SaturationResult result = find_saturation_scale(stream, options);
+    std::printf("saturation scale: %s\n", saturation_summary(result).c_str());
+
+    // 4. The verdict for this stream.
+    std::printf("=> aggregation periods up to ~%s preserve propagation "
+                "properties;\n   beyond that, temporal-path analyses on the "
+                "series are unreliable.\n",
+                format_duration(static_cast<double>(result.gamma)).c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+// The classical graph-series properties of the paper's Fig. 2 — the
+// "difficulty of the problem" panel: as the aggregation period Delta grows,
+// every classical property drifts smoothly between its extremes and never
+// singles out a characteristic scale.
+//
+// Per aggregation period, the sweep reports:
+//   * mean snapshot density (top-left),
+//   * mean number of non-isolated vertices and mean size of the largest
+//     connected component per snapshot (top-right),
+//   * mean distance in time d_time over all (u, v, t) finite (bottom-left),
+//   * mean distance in hops and in absolute time (bottom-right).
+//
+// Snapshot means are taken over non-empty snapshots (matching the paper's
+// reported minima, e.g. an LCC of 2.3 nodes for Irvine at Delta = 1 s, which
+// is only possible if empty windows are excluded); the all-window means are
+// also exposed.
+#pragma once
+
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+struct ClassicalPoint {
+    Time delta = 0;
+
+    // Snapshot structure (Fig. 2 top row).
+    double mean_density_nonempty = 0.0;  // mean over non-empty snapshots
+    double mean_density_all = 0.0;       // mean over all K windows
+    double mean_degree_nonempty = 0.0;
+    double mean_non_isolated = 0.0;      // vertices with >= 1 link, non-empty snapshots
+    double mean_largest_cc = 0.0;        // largest connected component size
+
+    // Temporal distances (Fig. 2 bottom row); only filled when the sweep is
+    // run with distances enabled.
+    double mean_dtime_windows = 0.0;   // mean d_time, in windows
+    double mean_dhops = 0.0;           // mean d_hops
+    double mean_dabstime_ticks = 0.0;  // Delta * mean d_time, in ticks
+    double finite_pairs_fraction = 0.0;  // share of (u,v,t) with finite distance
+};
+
+/// Evaluates the classical properties at one aggregation period.
+/// `with_distances` adds one O(nM) reachability sweep (plus O(n^2) memory).
+ClassicalPoint classical_properties(const LinkStream& stream, Time delta,
+                                    bool with_distances = true);
+
+/// Sweep over a grid of periods (Fig. 2's x-axis).
+std::vector<ClassicalPoint> classical_curve(const LinkStream& stream,
+                                            const std::vector<Time>& deltas,
+                                            bool with_distances = true);
+
+}  // namespace natscale

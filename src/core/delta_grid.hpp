@@ -1,0 +1,28 @@
+// Grids of aggregation periods for Delta sweeps.
+//
+// The occupancy method evaluates the occupancy distribution across the whole
+// range of aggregation periods, from the timestamp resolution (1 tick) to
+// the full period of study T.  A geometric grid covers that range (4-7
+// decades for the paper's datasets) with a bounded number of O(nM) sweeps;
+// the saturation-scale search then refines linearly around the optimum.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// Geometric grid of `count` distinct integer periods covering [lo, hi].
+/// Consecutive duplicates arising from rounding are removed, so the result
+/// may hold fewer than `count` values.  Preconditions: 1 <= lo <= hi,
+/// count >= 2.
+std::vector<Time> geometric_delta_grid(Time lo, Time hi, std::size_t count);
+
+/// Linear grid of up to `count` distinct integer periods covering [lo, hi].
+std::vector<Time> linear_delta_grid(Time lo, Time hi, std::size_t count);
+
+/// Merges two sorted grids, removing duplicates.
+std::vector<Time> merge_delta_grids(const std::vector<Time>& a, const std::vector<Time>& b);
+
+}  // namespace natscale

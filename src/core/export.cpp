@@ -1,0 +1,75 @@
+#include "core/export.hpp"
+
+#include "util/json.hpp"
+
+namespace natscale {
+
+std::string saturation_result_to_json(const SaturationResult& result) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("gamma_ticks", static_cast<std::int64_t>(result.gamma));
+    json.field("metric", metric_name(result.metric));
+    json.field("num_trips_at_gamma", static_cast<std::uint64_t>(result.at_gamma.num_trips));
+    json.field("mk_proximity_at_gamma", result.at_gamma.scores.mk_proximity);
+    json.begin_array("curve");
+    for (const auto& point : result.curve) {
+        json.begin_object();
+        json.field("delta", static_cast<std::int64_t>(point.delta));
+        json.field("mk_proximity", point.scores.mk_proximity);
+        json.field("std_deviation", point.scores.std_deviation);
+        json.field("shannon_entropy", point.scores.shannon_entropy);
+        json.field("cre", point.scores.cre);
+        json.field("variation_coefficient", point.scores.variation_coefficient);
+        json.field("num_trips", static_cast<std::uint64_t>(point.num_trips));
+        json.field("occupancy_mean", point.occupancy_mean);
+        json.end_object();
+    }
+    json.end_array();
+    json.begin_array("icd_at_gamma");
+    for (const auto& [x, y] : result.gamma_histogram.icd_points()) {
+        json.begin_object();
+        json.field("occupancy", x);
+        json.field("icd", y);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string stream_stats_to_json(const StreamStats& stats) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("num_nodes", static_cast<std::uint64_t>(stats.num_nodes));
+    json.field("num_events", static_cast<std::uint64_t>(stats.num_events));
+    json.field("period_end_ticks", static_cast<std::int64_t>(stats.period_end));
+    json.field("duration_days", stats.duration_days);
+    json.field("active_nodes", static_cast<std::uint64_t>(stats.active_nodes));
+    json.field("events_per_node_per_day", stats.events_per_node_per_day);
+    json.field("mean_intercontact_ticks", stats.mean_intercontact_ticks);
+    json.end_object();
+    return json.str();
+}
+
+std::string segmented_saturation_to_json(const SegmentedSaturation& result) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("split", result.split);
+    json.field("gamma_high_ticks", static_cast<std::int64_t>(result.gamma_high));
+    json.field("gamma_low_ticks", static_cast<std::int64_t>(result.gamma_low));
+    json.field("recommended_ticks", static_cast<std::int64_t>(result.recommended));
+    json.begin_array("segments");
+    for (const auto& seg : result.segments) {
+        json.begin_object();
+        json.field("begin", static_cast<std::int64_t>(seg.begin));
+        json.field("end", static_cast<std::int64_t>(seg.end));
+        json.field("high_activity", seg.high_activity);
+        json.field("events_per_tick", seg.events_per_tick);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+}  // namespace natscale

@@ -1,0 +1,43 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace natscale {
+
+void print_stream_summary(std::ostream& os, const std::string& name, const StreamStats& stats,
+                          double ticks_per_second) {
+    os << name << ": n=" << stats.num_nodes << " events=" << format_count(stats.num_events)
+       << " T=" << format_duration(static_cast<double>(stats.period_end) * ticks_per_second)
+       << " activity=" << format_fixed(stats.events_per_node_per_day, 2) << " msg/node/day"
+       << " mean-intercontact="
+       << format_duration(stats.mean_intercontact_ticks * ticks_per_second) << '\n';
+}
+
+std::string saturation_summary(const SaturationResult& result, double ticks_per_second) {
+    return "gamma = " + std::to_string(result.gamma) + " ticks (" +
+           format_duration(static_cast<double>(result.gamma) * ticks_per_second) + "), " +
+           metric_name(result.metric) + " " +
+           format_fixed(score_of(result.at_gamma.scores, result.metric), 3);
+}
+
+void print_saturation_report(std::ostream& os, const SaturationResult& result,
+                             double ticks_per_second) {
+    os << saturation_summary(result, ticks_per_second) << '\n';
+    ConsoleTable table({"delta(ticks)", "delta", "M-K prox", "stddev", "Shannon(10)", "CRE",
+                        "trips", "mean occ"});
+    for (const auto& point : result.curve) {
+        table.add_row({std::to_string(point.delta),
+                       format_duration(static_cast<double>(point.delta) * ticks_per_second),
+                       format_fixed(point.scores.mk_proximity, 4),
+                       format_fixed(point.scores.std_deviation, 4),
+                       format_fixed(point.scores.shannon_entropy, 4),
+                       format_fixed(point.scores.cre, 4), format_count(point.num_trips),
+                       format_fixed(point.occupancy_mean, 4)});
+    }
+    table.print(os);
+}
+
+}  // namespace natscale

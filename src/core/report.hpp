@@ -1,0 +1,27 @@
+// Uniform human-readable reporting of occupancy-method results, shared by
+// the CLI example and the benchmark harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/saturation.hpp"
+#include "linkstream/stream_stats.hpp"
+
+namespace natscale {
+
+/// Prints the dataset header line the benches use:
+/// "irvine: n=1509 events=48,000 T=1175.0h activity=0.66 msg/node/day".
+void print_stream_summary(std::ostream& os, const std::string& name, const StreamStats& stats,
+                          double ticks_per_second = 1.0);
+
+/// Prints gamma, the metric curve (delta | metric | trips) and the selected
+/// distribution's headline numbers.  `ticks_per_second` converts the
+/// stream's ticks for the human-readable duration column.
+void print_saturation_report(std::ostream& os, const SaturationResult& result,
+                             double ticks_per_second = 1.0);
+
+/// One-line summary: "gamma = 64800 ticks (18.0h), M-K proximity 0.412".
+std::string saturation_summary(const SaturationResult& result, double ticks_per_second = 1.0);
+
+}  // namespace natscale

@@ -1,0 +1,106 @@
+#include "core/saturation.hpp"
+
+#include <algorithm>
+
+#include "core/delta_grid.hpp"
+#include "core/occupancy.hpp"
+#include "linkstream/aggregation.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+Time SaturationResult::gamma_for(UniformityMetric which) const {
+    Time best_delta = 0;
+    double best_score = -1.0;
+    for (const auto& point : curve) {
+        const double score = score_of(point.scores, which);
+        if (score > best_score) {
+            best_score = score;
+            best_delta = point.delta;
+        }
+    }
+    return best_delta;
+}
+
+DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
+                          const SaturationOptions& options, Histogram01* histogram_out) {
+    DeltaPoint point;
+    point.delta = delta;
+    Histogram01 hist = occupancy_histogram(stream, delta, options.histogram_bins);
+    point.scores = compute_all_metrics(hist, options.shannon_slots);
+    point.num_trips = hist.total();
+    point.occupancy_mean = hist.mean();
+    if (histogram_out != nullptr) *histogram_out = std::move(hist);
+    return point;
+}
+
+namespace {
+
+/// Inserts points for every delta of `grid` not present in `curve` yet.
+void evaluate_grid(const LinkStream& stream, const std::vector<Time>& grid,
+                   const SaturationOptions& options, std::vector<DeltaPoint>& curve) {
+    for (Time delta : grid) {
+        const auto it = std::lower_bound(
+            curve.begin(), curve.end(), delta,
+            [](const DeltaPoint& p, Time d) { return p.delta < d; });
+        if (it != curve.end() && it->delta == delta) continue;
+        curve.insert(it, evaluate_delta(stream, delta, options, nullptr));
+    }
+}
+
+std::size_t argmax_index(const std::vector<DeltaPoint>& curve, UniformityMetric metric) {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const double score = score_of(curve[i].scores, metric);
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+SaturationResult find_saturation_scale(const LinkStream& stream,
+                                       const SaturationOptions& options) {
+    NATSCALE_EXPECTS(!stream.empty());
+    NATSCALE_EXPECTS(options.coarse_points >= 2);
+
+    const Time lo = options.min_delta > 0 ? options.min_delta : 1;
+    const Time hi = options.max_delta > 0 ? options.max_delta : stream.period_end();
+    NATSCALE_EXPECTS(lo >= 1 && lo <= hi);
+
+    SaturationResult result;
+    result.metric = options.metric;
+
+    evaluate_grid(stream, geometric_delta_grid(lo, hi, options.coarse_points), options,
+                  result.curve);
+
+    for (std::size_t round = 0; round < options.refine_rounds; ++round) {
+        const std::size_t best = argmax_index(result.curve, options.metric);
+        const Time bracket_lo = best == 0 ? result.curve.front().delta
+                                          : result.curve[best - 1].delta;
+        const Time bracket_hi = best + 1 >= result.curve.size()
+                                    ? result.curve.back().delta
+                                    : result.curve[best + 1].delta;
+        if (bracket_hi - bracket_lo <= 2) break;  // already at tick resolution
+        evaluate_grid(stream,
+                      linear_delta_grid(bracket_lo, bracket_hi,
+                                        std::max<std::size_t>(options.refine_points, 3)),
+                      options, result.curve);
+    }
+
+    const std::size_t best = argmax_index(result.curve, options.metric);
+    result.at_gamma = result.curve[best];
+    result.gamma = result.at_gamma.delta;
+    // Re-evaluate once more to surface the histogram at gamma.
+    Histogram01 hist(options.histogram_bins);
+    evaluate_delta(stream, result.gamma, options, &hist);
+    result.gamma_histogram = std::move(hist);
+    return result;
+}
+
+}  // namespace natscale

@@ -1,0 +1,88 @@
+// The occupancy method (paper Sections 4 and 7): automatic, parameter-free
+// determination of the saturation scale gamma of a link stream.
+//
+// gamma is the aggregation period whose occupancy-rate distribution is
+// maximally spread over [0, 1] — by default the period maximizing the M-K
+// proximity with the uniform density.  Aggregating with Delta <= gamma
+// mostly preserves the propagation properties of the stream; beyond gamma
+// they are demonstrably altered (Section 8 quantifies the alteration).
+//
+// The search evaluates a geometric grid over [resolution, T] and then
+// refines linearly around the running optimum; each evaluation is one O(nM)
+// backward sweep.  All five uniformity metrics of Section 7 are recorded at
+// every evaluated period so the metric-comparison figure (Fig. 7) costs no
+// extra sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+#include "stats/histogram01.hpp"
+#include "stats/uniformity.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+struct SaturationOptions {
+    /// Metric whose maximum defines gamma (paper default: M-K proximity).
+    UniformityMetric metric = UniformityMetric::mk_proximity;
+
+    /// Points of the initial geometric grid over [min_delta, max_delta].
+    std::size_t coarse_points = 48;
+
+    /// Linear refinement rounds around the running optimum, and points per
+    /// round.  0 rounds = coarse grid only.
+    std::size_t refine_rounds = 2;
+    std::size_t refine_points = 12;
+
+    /// Occupancy histogram resolution.
+    std::size_t histogram_bins = Histogram01::kDefaultBins;
+
+    /// Slot count for the Shannon-entropy metric (Section 7 uses 10).
+    std::size_t shannon_slots = 10;
+
+    /// Sweep range; 0 means "use the natural bound" (1 tick / T).
+    Time min_delta = 0;
+    Time max_delta = 0;
+};
+
+/// One evaluated aggregation period.
+struct DeltaPoint {
+    Time delta = 0;                 // ticks
+    UniformityScores scores;        // all five Section 7 metrics
+    std::uint64_t num_trips = 0;    // minimal trips of G_Delta
+    double occupancy_mean = 0.0;
+};
+
+struct SaturationResult {
+    /// The saturation scale gamma, in ticks.
+    Time gamma = 0;
+
+    /// Metric used for the selection.
+    UniformityMetric metric = UniformityMetric::mk_proximity;
+
+    /// Every evaluated period, sorted by delta (the Fig. 3/5 curve).
+    std::vector<DeltaPoint> curve;
+
+    /// Scores at gamma.
+    DeltaPoint at_gamma;
+
+    /// Occupancy histogram of G_gamma (the "maximally stretched" ICD of
+    /// Fig. 3 left, green squares).
+    Histogram01 gamma_histogram{Histogram01::kDefaultBins};
+
+    /// argmax over the evaluated curve for any metric, in ticks (Fig. 7:
+    /// what each selection method would return).  Returns 0 on empty curve.
+    Time gamma_for(UniformityMetric metric) const;
+};
+
+/// Runs the occupancy method.  Preconditions: stream non-empty.
+SaturationResult find_saturation_scale(const LinkStream& stream,
+                                       const SaturationOptions& options = {});
+
+/// Evaluates a single aggregation period (one O(nM) sweep).
+DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
+                          const SaturationOptions& options, Histogram01* histogram_out = nullptr);
+
+}  // namespace natscale

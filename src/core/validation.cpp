@@ -1,0 +1,93 @@
+#include "core/validation.hpp"
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace natscale {
+
+std::vector<LostTransitionPoint> lost_transitions_curve(const ShortestTransitionSet& set,
+                                                        const std::vector<Time>& deltas) {
+    std::vector<LostTransitionPoint> curve;
+    curve.reserve(deltas.size());
+    for (Time delta : deltas) {
+        curve.push_back({delta, set.lost_fraction(delta)});
+    }
+    return curve;
+}
+
+std::vector<LostTransitionPoint> lost_transitions_curve(const LinkStream& stream,
+                                                        const std::vector<Time>& deltas) {
+    const ShortestTransitionSet set(stream);
+    return lost_transitions_curve(set, deltas);
+}
+
+ElongationPoint elongation_at(const LinkStream& stream, Time delta,
+                              const StreamTripStore& store) {
+    NATSCALE_EXPECTS(delta >= 1);
+    ElongationPoint point;
+    point.delta = delta;
+
+    const GraphSeries series = aggregate(stream, delta);
+    ReachabilityOptions options;
+    options.pair_sample_divisor = store.pair_sample_divisor();
+
+    KahanSum elongation_sum;
+    std::uint64_t measured = 0;
+    TemporalReachability engine;
+    engine.scan_series(series, [&](const MinimalTrip& trip) {
+        if (trip.dep == trip.arr) return;  // e_P defined only for t_u != t_v
+        // Absolute time window spanned by the trip.  Definition 8 writes the
+        // interval as [(t_u - 1) Delta, t_v Delta]; with integer ticks the
+        // instants belonging to windows t_u..t_v are exactly
+        // [(t_u - 1) Delta, t_v Delta - 1] — the literal right endpoint is
+        // the first instant of window t_v + 1, which the trip does not span
+        // (and a direct link there would make time_L zero).
+        const Time window_begin = (trip.dep - 1) * delta;
+        const Time window_end = trip.arr * delta - 1;
+        const auto stream_duration =
+            store.min_duration_within(trip.u, trip.v, window_begin, window_end);
+        // A minimal series trip always embeds a stream trip in its window
+        // (each hop's window holds at least one matching event, at strictly
+        // increasing times); duration > 0 because a zero-duration stream trip
+        // (a single link) would make the multi-window series trip non-minimal.
+        NATSCALE_CHECK(stream_duration.has_value());
+        NATSCALE_CHECK(*stream_duration > 0);
+        const double span_ticks =
+            static_cast<double>(trip.arr - trip.dep + 1) * static_cast<double>(delta);
+        elongation_sum.add(span_ticks / static_cast<double>(*stream_duration));
+        ++measured;
+    }, options);
+
+    point.measured_trips = measured;
+    point.mean_elongation =
+        measured == 0 ? 0.0 : elongation_sum.value() / static_cast<double>(measured);
+    return point;
+}
+
+std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
+                                              const std::vector<Time>& deltas,
+                                              const ElongationOptions& options) {
+    // Choose a pair-sampling divisor that keeps the store within budget.
+    std::uint64_t divisor = 1;
+    if (options.max_stored_trips > 0) {
+        const std::uint64_t total = StreamTripStore::count_trips(stream);
+        if (total > options.max_stored_trips) {
+            divisor = ceil_div(static_cast<std::int64_t>(total),
+                               static_cast<std::int64_t>(options.max_stored_trips));
+        }
+    }
+    StreamTripStore::Options store_options;
+    store_options.pair_sample_divisor = divisor;
+    const StreamTripStore store(stream, store_options);
+
+    std::vector<ElongationPoint> curve;
+    curve.reserve(deltas.size());
+    for (Time delta : deltas) {
+        curve.push_back(elongation_at(stream, delta, store));
+    }
+    return curve;
+}
+
+}  // namespace natscale

@@ -1,0 +1,76 @@
+#include "gen/activity_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+CircadianSampler::Profile CircadianSampler::office_hours() {
+    Profile p;
+    p.hour_weights = {
+        0.20, 0.10, 0.06, 0.05, 0.05, 0.08,  // 00-05: night trough
+        0.20, 0.50, 1.00, 1.60, 1.90, 1.80,  // 06-11: morning ramp and peak
+        1.40, 1.60, 1.90, 1.80, 1.60, 1.30,  // 12-17: afternoon plateau
+        1.00, 0.90, 0.80, 0.70, 0.50, 0.30,  // 18-23: evening decay
+    };
+    p.day_weights = {1.0, 1.05, 1.05, 1.0, 0.95, 0.45, 0.35};  // Mon..Sun
+    return p;
+}
+
+CircadianSampler::Profile CircadianSampler::flat() {
+    Profile p;
+    p.hour_weights.assign(24, 1.0);
+    p.day_weights.assign(7, 1.0);
+    return p;
+}
+
+CircadianSampler::CircadianSampler(Time period_end, const Profile& profile)
+    : period_end_(period_end) {
+    NATSCALE_EXPECTS(period_end_ >= 1);
+    NATSCALE_EXPECTS(profile.hour_weights.size() == 24);
+    NATSCALE_EXPECTS(profile.day_weights.size() == 7);
+
+    constexpr Time kDay = 86'400;
+    full_days_ = (period_end_ + kDay - 1) / kDay;  // last day may be partial
+
+    // Weight of each day of the period: its weekday weight, scaled by the
+    // fraction of the day inside [0, T).
+    std::vector<double> day_weights(static_cast<std::size_t>(full_days_));
+    day_weight_of_day_.resize(day_weights.size());
+    for (std::size_t d = 0; d < day_weights.size(); ++d) {
+        const double weekday_weight = profile.day_weights[d % 7];
+        const Time day_begin = static_cast<Time>(d) * kDay;
+        const Time day_end = std::min(day_begin + kDay, period_end_);
+        const double fraction =
+            static_cast<double>(day_end - day_begin) / static_cast<double>(kDay);
+        day_weights[d] = weekday_weight * fraction;
+        day_weight_of_day_[d] = weekday_weight;
+    }
+    day_sampler_ = WeightedSampler(day_weights);
+    hour_sampler_ = WeightedSampler(profile.hour_weights);
+}
+
+Time CircadianSampler::sample(Rng& rng) const {
+    constexpr Time kDay = 86'400;
+    for (;;) {
+        const Time day = static_cast<Time>(day_sampler_.sample(rng));
+        const Time hour = static_cast<Time>(hour_sampler_.sample(rng));
+        const Time second = rng.uniform_int(0, 3'599);
+        const Time t = day * kDay + hour * 3'600 + second;
+        if (t < period_end_) return t;  // reject spill past a partial last day
+    }
+}
+
+std::vector<double> zipf_weights(std::size_t count, double exponent, Rng& rng) {
+    NATSCALE_EXPECTS(count >= 1);
+    NATSCALE_EXPECTS(exponent >= 0.0);
+    std::vector<double> weights(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    }
+    rng.shuffle(weights);
+    return weights;
+}
+
+}  // namespace natscale

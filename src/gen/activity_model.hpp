@@ -1,0 +1,56 @@
+// Human-activity temporal model: circadian and weekly rhythms plus
+// heavy-tailed per-user activity.
+//
+// The paper's four datasets are message/e-mail traces of human communities;
+// their defining temporal features are (i) day/night and weekday/weekend
+// cycles, (ii) a broad (Zipf-like) distribution of per-user activity, and
+// (iii) reply bursts.  The replica generators combine these ingredients to
+// produce link streams with the published size, duration and mean activity
+// (see DESIGN.md for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// Samples timestamps in [0, T) ticks whose density follows an hour-of-day
+/// profile and a day-of-week profile (1 tick = 1 second).
+class CircadianSampler {
+public:
+    struct Profile {
+        /// Relative weight of each hour 0..23; defaults to a typical
+        /// communication-activity curve (low at night, peaks late morning
+        /// and mid-afternoon).
+        std::vector<double> hour_weights;
+        /// Relative weight of each weekday 0..6 (0 = Monday).
+        std::vector<double> day_weights;
+    };
+
+    /// Default profile for office-hours communication.
+    static Profile office_hours();
+    /// Flat profile: uniform over time (for calibration tests).
+    static Profile flat();
+
+    /// Precondition: period_end >= 1; profile weights of sizes 24 and 7.
+    CircadianSampler(Time period_end, const Profile& profile);
+
+    /// One timestamp in [0, period_end).
+    Time sample(Rng& rng) const;
+
+private:
+    Time period_end_ = 0;
+    Time full_days_ = 0;
+    WeightedSampler day_sampler_;    // which day of the period
+    WeightedSampler hour_sampler_;   // which hour within the day
+    std::vector<double> day_weight_of_day_;  // weight multiplier per day index
+};
+
+/// Zipf-like weights w_i proportional to 1 / (i+1)^exponent, shuffled so
+/// that node ids carry no rank information.
+std::vector<double> zipf_weights(std::size_t count, double exponent, Rng& rng);
+
+}  // namespace natscale

@@ -1,0 +1,63 @@
+// Connected components, both as a one-shot graph algorithm and as a reusable
+// union-find structure with O(1) amortized reset.
+//
+// The classical-property sweep (paper Fig. 2, top-right) needs the largest
+// connected component of every snapshot for every aggregation period.  At the
+// finest period this means millions of tiny snapshots, so re-allocating a
+// union-find per snapshot would dominate the cost; EpochUnionFind instead
+// invalidates its state lazily with an epoch counter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/static_graph.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// Union-find over [0, n) with union-by-size, path halving, and O(1) reset.
+class EpochUnionFind {
+public:
+    explicit EpochUnionFind(NodeId num_nodes);
+
+    /// Forgets all unions; costs O(1) until nodes are touched again.
+    void reset() noexcept { ++epoch_; }
+
+    NodeId find(NodeId x);
+
+    /// Returns false if x and y were already connected.
+    bool unite(NodeId x, NodeId y);
+
+    /// Size of the component containing x.
+    std::uint32_t component_size(NodeId x);
+
+    NodeId num_nodes() const noexcept { return static_cast<NodeId>(parent_.size()); }
+
+private:
+    void touch(NodeId x);
+
+    std::vector<NodeId> parent_;
+    std::vector<std::uint32_t> size_;
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t epoch_ = 1;
+};
+
+/// Sizes of all connected components (weakly connected if directed), in no
+/// particular order.  Isolated nodes contribute components of size 1.
+std::vector<std::uint32_t> component_sizes(const StaticGraph& g);
+
+/// Size of the largest connected component; 0 for an empty node set.
+std::uint32_t largest_component_size(const StaticGraph& g);
+
+/// Largest component and non-isolated-node count computed directly from an
+/// edge list, without materializing a StaticGraph.  `uf` must cover all node
+/// ids appearing in `edges`; it is reset on entry.
+struct ComponentSummary {
+    std::uint32_t largest_component = 0;  // 0 if no edges
+    std::uint32_t non_isolated_nodes = 0;
+};
+ComponentSummary summarize_components(std::span<const Edge> edges, EpochUnionFind& uf);
+
+}  // namespace natscale

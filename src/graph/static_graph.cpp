@@ -1,0 +1,64 @@
+#include "graph/static_graph.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+StaticGraph::StaticGraph(NodeId num_nodes, bool directed)
+    : num_nodes_(num_nodes), directed_(directed), offsets_(static_cast<std::size_t>(num_nodes) + 1, 0) {}
+
+StaticGraph::StaticGraph(NodeId num_nodes, std::span<const Edge> edges, bool directed)
+    : num_nodes_(num_nodes), directed_(directed) {
+    canonical_edges_.reserve(edges.size());
+    for (const auto& [u, v] : edges) {
+        NATSCALE_EXPECTS(u < num_nodes && v < num_nodes);
+        NATSCALE_EXPECTS(u != v);
+        if (directed || u < v) {
+            canonical_edges_.emplace_back(u, v);
+        } else {
+            canonical_edges_.emplace_back(v, u);
+        }
+    }
+    std::sort(canonical_edges_.begin(), canonical_edges_.end());
+    canonical_edges_.erase(std::unique(canonical_edges_.begin(), canonical_edges_.end()),
+                           canonical_edges_.end());
+    num_edges_ = canonical_edges_.size();
+
+    // Count degrees, then fill CSR.
+    offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+    for (const auto& [u, v] : canonical_edges_) {
+        ++offsets_[u + 1];
+        if (!directed_) ++offsets_[v + 1];
+    }
+    for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+    targets_.resize(offsets_.back());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [u, v] : canonical_edges_) {
+        targets_[cursor[u]++] = v;
+        if (!directed_) targets_[cursor[v]++] = u;
+    }
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+        std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+                  targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]));
+    }
+}
+
+std::span<const NodeId> StaticGraph::neighbors(NodeId u) const {
+    NATSCALE_EXPECTS(u < num_nodes_);
+    return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t StaticGraph::degree(NodeId u) const {
+    NATSCALE_EXPECTS(u < num_nodes_);
+    return offsets_[u + 1] - offsets_[u];
+}
+
+bool StaticGraph::has_edge(NodeId u, NodeId v) const {
+    NATSCALE_EXPECTS(u < num_nodes_ && v < num_nodes_);
+    const auto nbrs = neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace natscale

@@ -1,0 +1,64 @@
+// Static graphs: the snapshots obtained by aggregating a link stream.
+//
+// Compressed-sparse-row adjacency over a fixed node set [0, n).  Graphs are
+// immutable after construction (Core Guidelines P.10): build the edge list,
+// then construct.  Both undirected and directed graphs are supported because
+// the paper's method applies to both kinds of links (Section 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// An edge as an ordered pair of endpoints.  For undirected graphs the
+/// canonical storage form is u < v.
+using Edge = std::pair<NodeId, NodeId>;
+
+class StaticGraph {
+public:
+    /// Builds a graph on `num_nodes` nodes from an edge list.
+    ///
+    /// Duplicate edges are collapsed; self-loops are rejected (a link (u,u,t)
+    /// carries no propagation information and the paper's definitions exclude
+    /// it implicitly via paths).  For undirected graphs, (u,v) and (v,u)
+    /// denote the same edge.
+    ///
+    /// Preconditions: every endpoint < num_nodes; no self-loops.
+    StaticGraph(NodeId num_nodes, std::span<const Edge> edges, bool directed);
+
+    /// Empty graph on `num_nodes` nodes.
+    explicit StaticGraph(NodeId num_nodes, bool directed = false);
+
+    NodeId num_nodes() const noexcept { return num_nodes_; }
+
+    /// Number of distinct edges (each undirected edge counted once).
+    std::size_t num_edges() const noexcept { return num_edges_; }
+
+    bool directed() const noexcept { return directed_; }
+
+    /// Out-neighbours of u (all neighbours when undirected), sorted ascending.
+    std::span<const NodeId> neighbors(NodeId u) const;
+
+    /// Out-degree of u (degree when undirected).
+    std::size_t degree(NodeId u) const;
+
+    bool has_edge(NodeId u, NodeId v) const;
+
+    /// The distinct edges in canonical form, sorted.
+    const std::vector<Edge>& edges() const noexcept { return canonical_edges_; }
+
+private:
+    NodeId num_nodes_ = 0;
+    bool directed_ = false;
+    std::size_t num_edges_ = 0;
+    std::vector<std::size_t> offsets_;   // size n+1
+    std::vector<NodeId> targets_;        // adjacency, both directions if undirected
+    std::vector<Edge> canonical_edges_;  // deduplicated, sorted
+};
+
+}  // namespace natscale

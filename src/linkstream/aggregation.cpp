@@ -1,0 +1,32 @@
+#include "linkstream/aggregation.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+GraphSeries aggregate(const LinkStream& stream, Time delta) {
+    NATSCALE_EXPECTS(delta >= 1);
+    const WindowIndex K = num_windows(stream.period_end(), delta);
+
+    std::vector<Snapshot> snapshots;
+    const auto events = stream.events();
+    std::size_t i = 0;
+    while (i < events.size()) {
+        const WindowIndex k = window_of(events[i].t, delta);
+        Snapshot snap;
+        snap.k = k;
+        // Events are time-sorted, so each window is a contiguous run.
+        while (i < events.size() && window_of(events[i].t, delta) == k) {
+            snap.edges.emplace_back(events[i].u, events[i].v);
+            ++i;
+        }
+        std::sort(snap.edges.begin(), snap.edges.end());
+        snap.edges.erase(std::unique(snap.edges.begin(), snap.edges.end()), snap.edges.end());
+        snapshots.push_back(std::move(snap));
+    }
+    return GraphSeries(stream.num_nodes(), K, delta, stream.directed(), std::move(snapshots));
+}
+
+}  // namespace natscale

@@ -1,0 +1,35 @@
+// Aggregation of a link stream into a series of graphs (Definition 1).
+//
+// Window k (1-based) covers timestamps [(k-1)*Delta, k*Delta).  The paper
+// requires Delta = T/K for an integer K; in practice (and in the paper's own
+// sweeps over many values of Delta) the last window is allowed to be shorter
+// when Delta does not divide T, which changes nothing for the method.
+#pragma once
+
+#include "linkstream/graph_series.hpp"
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// 1-based index of the window containing timestamp t for period delta.
+constexpr WindowIndex window_of(Time t, Time delta) {
+    return t / delta + 1;
+}
+
+/// K = ceil(T / delta): number of windows covering [0, T).
+constexpr WindowIndex num_windows(Time period_end, Time delta) {
+    return (period_end + delta - 1) / delta;
+}
+
+/// Aggregates `stream` with period `delta` (in ticks).
+///
+/// Each snapshot contains the distinct links occurring in its window; the
+/// information about the exact times (and hence the order) of links within a
+/// window is deliberately lost — that loss is precisely what the occupancy
+/// method quantifies.
+///
+/// Preconditions: delta >= 1.
+GraphSeries aggregate(const LinkStream& stream, Time delta);
+
+}  // namespace natscale

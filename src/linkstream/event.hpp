@@ -1,0 +1,28 @@
+// A link-stream event: the triplet (u, v, t) of the paper.
+#pragma once
+
+#include <compare>
+
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// One link of a link stream: nodes u and v interact at time t.
+/// For undirected streams the pair is unordered (u and v interchangeable);
+/// for directed streams the link goes from u to v.
+struct Event {
+    NodeId u = 0;
+    NodeId v = 0;
+    Time t = 0;
+
+    /// Orders events chronologically, then by endpoints: the canonical
+    /// storage order of a LinkStream.
+    friend constexpr std::strong_ordering operator<=>(const Event& a, const Event& b) {
+        if (auto c = a.t <=> b.t; c != 0) return c;
+        if (auto c = a.u <=> b.u; c != 0) return c;
+        return a.v <=> b.v;
+    }
+    friend constexpr bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace natscale

@@ -1,0 +1,114 @@
+#include "linkstream/io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+namespace {
+
+/// Splits a line into at most 4 fields on spaces/tabs/commas.
+std::size_t split_fields(const std::string& line, std::string_view out[4]) {
+    std::size_t count = 0;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto is_sep = [](char c) { return c == ' ' || c == '\t' || c == ',' || c == '\r'; };
+    while (i < n && count < 4) {
+        while (i < n && is_sep(line[i])) ++i;
+        if (i >= n) break;
+        const std::size_t start = i;
+        while (i < n && !is_sep(line[i])) ++i;
+        out[count++] = std::string_view(line).substr(start, i - start);
+    }
+    return count;
+}
+
+bool parse_time(std::string_view field, double scale, Time& out) {
+    // Accept integers and decimal fractions (scaled to ticks).
+    double value = 0.0;
+    const char* first = field.data();
+    const char* last = field.data() + field.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return false;
+    const double scaled = value * scale;
+    if (!(scaled >= 0.0) || scaled > 9.0e18) return false;
+    out = static_cast<Time>(std::llround(scaled));
+    return true;
+}
+
+}  // namespace
+
+LoadedStream parse_link_stream(const std::string& text, const LoadOptions& options,
+                               const std::string& origin) {
+    std::istringstream is(text);
+    std::string line;
+    std::size_t line_number = 0;
+
+    std::vector<Event> events;
+    std::vector<std::string> labels;
+    std::unordered_map<std::string, NodeId> ids;
+    auto intern = [&](std::string_view label) {
+        auto [it, inserted] = ids.try_emplace(std::string(label), static_cast<NodeId>(labels.size()));
+        if (inserted) labels.emplace_back(label);
+        return it->second;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_number;
+        std::string_view fields[4];
+        const std::size_t nf = split_fields(line, fields);
+        if (nf == 0) continue;                                      // blank
+        if (fields[0].front() == '#' || fields[0].front() == '%') continue;  // comment
+        if (nf < 3) throw io_error(origin, line_number, "expected 'u v t'");
+        Time t = 0;
+        if (!parse_time(fields[2], options.time_scale, t)) {
+            throw io_error(origin, line_number,
+                           "bad timestamp '" + std::string(fields[2]) + "'");
+        }
+        const NodeId u = intern(fields[0]);
+        const NodeId v = intern(fields[1]);
+        if (u == v) {
+            if (options.skip_self_loops) continue;
+            throw io_error(origin, line_number, "self-loop on node '" + labels[u] + "'");
+        }
+        events.push_back({u, v, t});
+    }
+    if (events.empty()) throw std::runtime_error(origin + ": no events");
+
+    Time max_time = 0;
+    for (const auto& e : events) max_time = std::max(max_time, e.t);
+    LinkStream stream(std::move(events), static_cast<NodeId>(labels.size()), max_time + 1,
+                      options.directed);
+    return {std::move(stream), std::move(labels)};
+}
+
+LoadedStream load_link_stream(const std::string& path, const LoadOptions& options) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parse_link_stream(buffer.str(), options, path);
+}
+
+void save_link_stream(const std::string& path, const LinkStream& stream,
+                      const std::vector<std::string>& node_labels) {
+    NATSCALE_EXPECTS(node_labels.empty() || node_labels.size() >= stream.num_nodes());
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open '" + path + "' for writing");
+    os << "# natscale link stream: n=" << stream.num_nodes()
+       << " events=" << stream.num_events() << " T=" << stream.period_end()
+       << (stream.directed() ? " directed" : " undirected") << '\n';
+    for (const auto& e : stream.events()) {
+        if (node_labels.empty()) {
+            os << e.u << ' ' << e.v << ' ' << e.t << '\n';
+        } else {
+            os << node_labels[e.u] << ' ' << node_labels[e.v] << ' ' << e.t << '\n';
+        }
+    }
+}
+
+}  // namespace natscale

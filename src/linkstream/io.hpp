@@ -1,0 +1,57 @@
+// Reading and writing link streams as text files.
+//
+// The accepted format is the de-facto standard of temporal-network datasets
+// (KONECT, SNAP): one event per line, `u v t`, separated by spaces, tabs or
+// commas, with '#' or '%' comment lines.  Node identifiers may be arbitrary
+// non-negative integers or strings; they are relabelled to the dense range
+// [0, n) and the mapping is returned so results can be reported in the
+// original identifiers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+
+namespace natscale {
+
+/// Thrown on malformed input, with the offending path and line number.
+class io_error : public std::runtime_error {
+public:
+    io_error(const std::string& path, std::size_t line, const std::string& what)
+        : std::runtime_error(path + ":" + std::to_string(line) + ": " + what),
+          line_number(line) {}
+    std::size_t line_number;
+};
+
+struct LoadOptions {
+    bool directed = false;
+    /// Multiplies every timestamp before truncation to ticks; use e.g. 1000
+    /// to load second-resolution files with millisecond fractions.
+    double time_scale = 1.0;
+    /// Drop events whose endpoints are equal instead of failing.
+    bool skip_self_loops = true;
+};
+
+struct LoadedStream {
+    LinkStream stream;
+    /// Dense id -> original label, indexable by NodeId.
+    std::vector<std::string> node_labels;
+};
+
+/// Parses the file at `path`.  Throws io_error on syntax errors and
+/// std::runtime_error if the file cannot be opened or holds no events.
+LoadedStream load_link_stream(const std::string& path, const LoadOptions& options = {});
+
+/// Parses events from a string (same grammar); `origin` names the source in
+/// error messages.
+LoadedStream parse_link_stream(const std::string& text, const LoadOptions& options = {},
+                               const std::string& origin = "<string>");
+
+/// Writes `u v t` lines using the given labels (or dense ids if empty).
+void save_link_stream(const std::string& path, const LinkStream& stream,
+                      const std::vector<std::string>& node_labels = {});
+
+}  // namespace natscale

@@ -1,0 +1,71 @@
+#include "linkstream/link_stream.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+LinkStream::LinkStream(std::vector<Event> events, NodeId num_nodes, Time period_end,
+                       bool directed, bool dedup)
+    : events_(std::move(events)), num_nodes_(num_nodes), period_end_(period_end),
+      directed_(directed) {
+    NATSCALE_EXPECTS(period_end_ > 0);
+    if (!directed_) {
+        // Canonical endpoint order for undirected links.
+        for (auto& e : events_) {
+            if (e.u > e.v) std::swap(e.u, e.v);
+        }
+    }
+    for (const auto& e : events_) {
+        NATSCALE_EXPECTS(e.u < num_nodes_ && e.v < num_nodes_);
+        NATSCALE_EXPECTS(e.u != e.v);
+        NATSCALE_EXPECTS(e.t >= 0 && e.t < period_end_);
+    }
+    std::sort(events_.begin(), events_.end());
+    if (dedup) {
+        events_.erase(std::unique(events_.begin(), events_.end()), events_.end());
+    }
+    distinct_timestamps_ = 0;
+    Time prev = -1;
+    for (const auto& e : events_) {
+        if (e.t != prev) {
+            ++distinct_timestamps_;
+            prev = e.t;
+        }
+    }
+}
+
+LinkStream LinkStream::from_events(std::vector<Event> events, bool directed) {
+    NATSCALE_EXPECTS(!events.empty());
+    NodeId max_node = 0;
+    Time max_time = 0;
+    for (const auto& e : events) {
+        max_node = std::max({max_node, e.u, e.v});
+        max_time = std::max(max_time, e.t);
+    }
+    return LinkStream(std::move(events), max_node + 1, max_time + 1, directed);
+}
+
+Time LinkStream::first_time() const {
+    NATSCALE_EXPECTS(!empty());
+    return events_.front().t;
+}
+
+Time LinkStream::last_time() const {
+    NATSCALE_EXPECTS(!empty());
+    return events_.back().t;
+}
+
+LinkStream LinkStream::slice(Time from, Time to) const {
+    NATSCALE_EXPECTS(from >= 0 && from < to && to <= period_end_);
+    std::vector<Event> subset;
+    for (const auto& e : events_) {
+        if (e.t >= from && e.t < to) {
+            subset.push_back({e.u, e.v, e.t - from});
+        }
+    }
+    return LinkStream(std::move(subset), num_nodes_, to - from, directed_);
+}
+
+}  // namespace natscale

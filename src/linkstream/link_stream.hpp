@@ -1,0 +1,67 @@
+// LinkStream: a finite collection of (u, v, t) triplets over a period of
+// study [0, T), the fundamental object of the paper.
+//
+// Events are stored sorted by time; the node set is the dense range [0, n).
+// Time is measured in integer ticks of size `resolution` (1 second for every
+// dataset used in the paper); see util/types.hpp for the continuous-time
+// discussion.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linkstream/event.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+class LinkStream {
+public:
+    /// Builds a stream from an event list.
+    ///
+    /// Events are sorted; exact duplicates (same u, v, t) are kept — they are
+    /// harmless because aggregation deduplicates edges per window — except
+    /// when `dedup` is true.  `num_nodes` fixes the node universe (Definition
+    /// 1 keeps V constant across snapshots); `period_end` is T, the exclusive
+    /// end of the period of study.
+    ///
+    /// Preconditions: every endpoint < num_nodes, u != v, 0 <= t < period_end.
+    LinkStream(std::vector<Event> events, NodeId num_nodes, Time period_end,
+               bool directed = false, bool dedup = false);
+
+    /// Convenience factory: infers num_nodes = 1 + max endpoint and
+    /// period_end = 1 + max timestamp.  Precondition: events non-empty.
+    static LinkStream from_events(std::vector<Event> events, bool directed = false);
+
+    /// All events, sorted by (t, u, v).
+    std::span<const Event> events() const noexcept { return events_; }
+
+    NodeId num_nodes() const noexcept { return num_nodes_; }
+    std::size_t num_events() const noexcept { return events_.size(); }
+    bool directed() const noexcept { return directed_; }
+
+    /// T: the exclusive end of the period of study [0, T).
+    Time period_end() const noexcept { return period_end_; }
+
+    bool empty() const noexcept { return events_.empty(); }
+
+    /// Number of distinct timestamps carrying at least one event.
+    std::size_t num_distinct_timestamps() const noexcept { return distinct_timestamps_; }
+
+    /// First / last event time.  Preconditions: !empty().
+    Time first_time() const;
+    Time last_time() const;
+
+    /// Returns a copy restricted to events with t in [from, to).
+    LinkStream slice(Time from, Time to) const;
+
+private:
+    std::vector<Event> events_;
+    NodeId num_nodes_ = 0;
+    Time period_end_ = 0;
+    bool directed_ = false;
+    std::size_t distinct_timestamps_ = 0;
+};
+
+}  // namespace natscale

@@ -1,0 +1,72 @@
+#include "linkstream/stream_stats.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace natscale {
+
+std::vector<std::size_t> node_event_counts(const LinkStream& stream) {
+    std::vector<std::size_t> counts(stream.num_nodes(), 0);
+    for (const auto& e : stream.events()) {
+        ++counts[e.u];
+        ++counts[e.v];
+    }
+    return counts;
+}
+
+std::vector<Time> inter_event_gaps(const LinkStream& stream) {
+    // Events are time-sorted; track the previous event time per node.
+    std::vector<Time> previous(stream.num_nodes(), -1);
+    std::vector<Time> gaps;
+    for (const auto& e : stream.events()) {
+        for (const NodeId x : {e.u, e.v}) {
+            if (previous[x] >= 0) gaps.push_back(e.t - previous[x]);
+            previous[x] = e.t;
+        }
+    }
+    return gaps;
+}
+
+double burstiness(const LinkStream& stream) {
+    const auto gaps = inter_event_gaps(stream);
+    if (gaps.size() < 2) return 0.0;
+    KahanSum sum;
+    for (Time g : gaps) sum.add(static_cast<double>(g));
+    const double mu = sum.value() / static_cast<double>(gaps.size());
+    KahanSum sq;
+    for (Time g : gaps) sq.add((static_cast<double>(g) - mu) * (static_cast<double>(g) - mu));
+    const double sigma = std::sqrt(sq.value() / static_cast<double>(gaps.size()));
+    if (sigma + mu == 0.0) return 0.0;
+    return (sigma - mu) / (sigma + mu);
+}
+
+StreamStats compute_stream_stats(const LinkStream& stream, double ticks_per_second) {
+    NATSCALE_EXPECTS(ticks_per_second > 0.0);
+    StreamStats s;
+    s.num_nodes = stream.num_nodes();
+    s.num_events = stream.num_events();
+    s.period_end = stream.period_end();
+    const double seconds = static_cast<double>(s.period_end) * ticks_per_second;
+    s.duration_days = seconds / 86400.0;
+
+    const auto counts = node_event_counts(stream);
+    KahanSum intercontact;
+    for (std::size_t c : counts) {
+        if (c > 0) {
+            ++s.active_nodes;
+            intercontact.add(static_cast<double>(s.period_end) / static_cast<double>(c));
+        }
+    }
+    s.mean_intercontact_ticks =
+        s.active_nodes == 0 ? 0.0 : intercontact.value() / static_cast<double>(s.active_nodes);
+    s.events_per_node_per_day =
+        (s.num_nodes == 0 || s.duration_days == 0.0)
+            ? 0.0
+            : static_cast<double>(s.num_events) /
+                  (static_cast<double>(s.num_nodes) * s.duration_days);
+    return s;
+}
+
+}  // namespace natscale

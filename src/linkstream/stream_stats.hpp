@@ -1,0 +1,50 @@
+// Activity statistics of a link stream.
+//
+// Section 5 of the paper relates the saturation scale to the level of
+// activity of each network (messages per person per day) and Section 6 to the
+// mean inter-contact time of nodes; these are the quantities computed here.
+#pragma once
+
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+
+namespace natscale {
+
+struct StreamStats {
+    NodeId num_nodes = 0;
+    std::size_t num_events = 0;
+    Time period_end = 0;            // T, in ticks
+    double duration_days = 0.0;     // T in days given ticks_per_second
+    NodeId active_nodes = 0;        // nodes involved in at least one event
+
+    /// Events per node per day, over all nodes (the paper's
+    /// "messages sent in average per person per day").
+    double events_per_node_per_day = 0.0;
+
+    /// Mean over active nodes of T / (number of events involving the node):
+    /// the mean inter-contact time of nodes, in ticks (paper Section 6 uses
+    /// T / (N (n-1)) for time-uniform networks, which this generalizes).
+    double mean_intercontact_ticks = 0.0;
+};
+
+/// Computes the statistics above.  `ticks_per_second` converts the stream's
+/// integer ticks to physical seconds (1 for all paper datasets).
+StreamStats compute_stream_stats(const LinkStream& stream, double ticks_per_second = 1.0);
+
+/// Number of events each node participates in (both endpoints counted).
+std::vector<std::size_t> node_event_counts(const LinkStream& stream);
+
+/// Per-node gaps between consecutive events involving the node, pooled over
+/// all nodes, in ticks.  The raw material of inter-contact-time analyses
+/// (paper Section 6's x-axis generalized to arbitrary streams).
+std::vector<Time> inter_event_gaps(const LinkStream& stream);
+
+/// Burstiness coefficient of the pooled inter-event gaps,
+/// B = (sigma - mu) / (sigma + mu) in [-1, 1]:
+/// -1 for perfectly periodic gaps, 0 for a Poisson process, -> 1 for
+/// extremely bursty activity.  Returns 0 when fewer than 2 gaps exist.
+/// Useful for judging how far a stream is from the time-uniform model.
+double burstiness(const LinkStream& stream);
+
+}  // namespace natscale

@@ -1,0 +1,69 @@
+#include "linkstream/window_variants.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace natscale {
+
+GraphSeries aggregate_sliding(const LinkStream& stream, Time delta, Time stride) {
+    NATSCALE_EXPECTS(delta >= 1);
+    NATSCALE_EXPECTS(stride >= 1 && stride <= delta);
+    const Time T = stream.period_end();
+    // Windows start at 0, stride, 2*stride, ...; the last window is the
+    // first one whose start reaches the end of the period.
+    const WindowIndex K = std::max<WindowIndex>(1, ceil_div(T, stride));
+
+    const auto events = stream.events();
+    std::vector<Snapshot> snapshots;
+    for (WindowIndex k = 1; k <= K; ++k) {
+        const Time begin = (k - 1) * stride;
+        const Time end = std::min<Time>(begin + delta, T);
+        if (begin >= T) break;
+        const auto first = std::lower_bound(
+            events.begin(), events.end(), begin,
+            [](const Event& e, Time t) { return e.t < t; });
+        Snapshot snap;
+        snap.k = k;
+        for (auto it = first; it != events.end() && it->t < end; ++it) {
+            snap.edges.emplace_back(it->u, it->v);
+        }
+        if (snap.edges.empty()) continue;
+        std::sort(snap.edges.begin(), snap.edges.end());
+        snap.edges.erase(std::unique(snap.edges.begin(), snap.edges.end()), snap.edges.end());
+        snapshots.push_back(std::move(snap));
+    }
+    return GraphSeries(stream.num_nodes(), K, delta, stream.directed(), std::move(snapshots));
+}
+
+GraphSeries aggregate_growing(const LinkStream& stream, Time delta) {
+    NATSCALE_EXPECTS(delta >= 1);
+    const WindowIndex K = std::max<WindowIndex>(1, ceil_div(stream.period_end(), delta));
+
+    // Accumulate distinct edges chronologically; snapshot k holds everything
+    // seen before k*delta.
+    std::vector<Snapshot> snapshots;
+    std::vector<Edge> accumulated;
+    const auto events = stream.events();
+    std::size_t i = 0;
+    for (WindowIndex k = 1; k <= K; ++k) {
+        const Time end = k * delta;
+        while (i < events.size() && events[i].t < end) {
+            accumulated.emplace_back(events[i].u, events[i].v);
+            ++i;
+        }
+        std::sort(accumulated.begin(), accumulated.end());
+        accumulated.erase(std::unique(accumulated.begin(), accumulated.end()),
+                          accumulated.end());
+        if (!accumulated.empty()) {
+            Snapshot snap;
+            snap.k = k;
+            snap.edges = accumulated;
+            snapshots.push_back(std::move(snap));
+        }
+    }
+    return GraphSeries(stream.num_nodes(), K, delta, stream.directed(), std::move(snapshots));
+}
+
+}  // namespace natscale

@@ -1,0 +1,35 @@
+// Alternative aggregation window schemes (paper Section 1).
+//
+// Besides the disjoint equal-length windows of Definition 1 (the scheme the
+// occupancy method is defined on), the literature also aggregates on
+//   * overlapping windows of length Delta advancing by a stride < Delta
+//     (sliding windows, refs [20, 1, 29, 40, 5, 37]), and
+//   * growing windows that all start at the beginning of the period of
+//     study (cumulative aggregation, refs [21, 31, 14, 37]).
+//
+// Both are provided so the library can reproduce the comparative studies the
+// paper cites ([37]: the window type strongly affects downstream analyses)
+// and so downstream users can inspect their data under every convention.
+// Note that a sliding-window "series" is NOT a partition of time: the same
+// link occurs in several snapshots, and temporal-path semantics over
+// overlapping snapshots are not defined by the paper — these series are for
+// per-snapshot (structural) statistics only.
+#pragma once
+
+#include "linkstream/graph_series.hpp"
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// Sliding windows: snapshot k (1-based) covers
+/// [(k-1)*stride, (k-1)*stride + delta).  stride == delta reduces to the
+/// disjoint aggregation of Definition 1.  Preconditions: 1 <= stride <=
+/// delta.  The number of snapshots is the smallest K covering [0, T).
+GraphSeries aggregate_sliding(const LinkStream& stream, Time delta, Time stride);
+
+/// Growing windows: snapshot k covers [0, k*delta) — every snapshot contains
+/// all links seen so far.  Precondition: delta >= 1.
+GraphSeries aggregate_growing(const LinkStream& stream, Time delta);
+
+}  // namespace natscale

@@ -1,0 +1,71 @@
+#include "stats/empirical_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace natscale {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {
+    for (double x : samples_) NATSCALE_EXPECTS(x >= 0.0 && x <= 1.0);
+    ensure_sorted();
+}
+
+void EmpiricalDistribution::add(double sample) {
+    NATSCALE_EXPECTS(sample >= 0.0 && sample <= 1.0);
+    samples_.push_back(sample);
+    sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+std::span<const double> EmpiricalDistribution::sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+}
+
+double EmpiricalDistribution::mean() const { return natscale::mean(sorted_samples()); }
+
+double EmpiricalDistribution::population_stddev() const {
+    return natscale::population_stddev(sorted_samples());
+}
+
+double EmpiricalDistribution::icd(double lambda) const {
+    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    // Count of samples strictly greater than lambda.
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), lambda);
+    return static_cast<double>(samples_.end() - it) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::icd_points() const {
+    ensure_sorted();
+    std::vector<std::pair<double, double>> points;
+    const double m = static_cast<double>(samples_.size());
+    if (samples_.empty()) {
+        points.emplace_back(0.0, 0.0);
+        points.emplace_back(1.0, 0.0);
+        return points;
+    }
+    points.emplace_back(0.0, icd(0.0));
+    std::size_t i = 0;
+    while (i < samples_.size()) {
+        const double value = samples_[i];
+        std::size_t j = i;
+        while (j < samples_.size() && samples_[j] == value) ++j;
+        points.emplace_back(value, static_cast<double>(samples_.size() - j) / m);
+        i = j;
+    }
+    if (points.back().first != 1.0) points.emplace_back(1.0, 0.0);
+    return points;
+}
+
+}  // namespace natscale

@@ -1,0 +1,51 @@
+// Exact empirical distribution of occupancy rates on [0, 1].
+//
+// Stores all samples; every metric is computed from the exact step-function
+// inverse cumulative distribution (ICD, "P(X > lambda)" in the paper).  Used
+// by the tests and by small analyses; the Delta-sweeps of the occupancy
+// method use the streaming Histogram01 instead, whose metrics converge to
+// these exact ones as the bin count grows (a property the tests check).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace natscale {
+
+class EmpiricalDistribution {
+public:
+    EmpiricalDistribution() = default;
+
+    /// Precondition: every sample lies in [0, 1].
+    explicit EmpiricalDistribution(std::vector<double> samples);
+
+    void add(double sample);
+
+    std::size_t size() const noexcept { return samples_.size(); }
+    bool empty() const noexcept { return samples_.empty(); }
+
+    /// Samples in ascending order.
+    std::span<const double> sorted_samples() const;
+
+    double mean() const;
+    double population_stddev() const;
+
+    /// P(X > lambda), the inverse cumulative distribution of the paper's
+    /// Fig. 3/4 (right-continuous step function).
+    double icd(double lambda) const;
+
+    /// The ICD as a polyline: (lambda, P(X > lambda)) at every breakpoint,
+    /// starting from (0, P(X > 0)) and ending at (1, 0); suitable for
+    /// plotting against the paper's figures.
+    std::vector<std::pair<double, double>> icd_points() const;
+
+private:
+    void ensure_sorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+}  // namespace natscale

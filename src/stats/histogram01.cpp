@@ -1,0 +1,82 @@
+#include "stats/histogram01.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+Histogram01::Histogram01(std::size_t num_bins) : counts_(num_bins, 0) {
+    NATSCALE_EXPECTS(num_bins >= 1);
+}
+
+void Histogram01::add(double x, std::uint64_t count) noexcept {
+    const std::size_t bins = counts_.size();
+    std::size_t idx;
+    if (x <= 0.0) {
+        idx = 0;
+    } else if (x >= 1.0) {
+        idx = bins - 1;
+    } else {
+        // Bin j covers (j/B, (j+1)/B]: index = ceil(x*B) - 1.
+        idx = static_cast<std::size_t>(std::ceil(x * static_cast<double>(bins))) - 1;
+        if (idx >= bins) idx = bins - 1;
+    }
+    counts_[idx] += count;
+    total_ += count;
+    sum_ += x * static_cast<double>(count);
+    sum_sq_ += x * x * static_cast<double>(count);
+}
+
+void Histogram01::add(double x) noexcept { add(x, 1); }
+
+void Histogram01::merge(const Histogram01& other) {
+    NATSCALE_EXPECTS(other.counts_.size() == counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+}
+
+double Histogram01::mean() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram01::population_stddev() const noexcept {
+    if (total_ == 0) return 0.0;
+    const double n = static_cast<double>(total_);
+    const double mu = sum_ / n;
+    const double var = sum_sq_ / n - mu * mu;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::vector<double> Histogram01::survival_at_edges() const {
+    const std::size_t bins = counts_.size();
+    std::vector<double> surv(bins + 1, 0.0);
+    if (total_ == 0) return surv;
+    // Mass of bin j sits at right edge (j+1)/B, so it is strictly greater
+    // than every edge lambda_i with i <= j.
+    std::uint64_t above = total_;
+    surv[0] = 1.0;
+    for (std::size_t j = 0; j < bins; ++j) {
+        above -= counts_[j];
+        surv[j + 1] = static_cast<double>(above) / static_cast<double>(total_);
+    }
+    return surv;
+}
+
+std::vector<std::pair<double, double>> Histogram01::icd_points() const {
+    const auto surv = survival_at_edges();
+    const std::size_t bins = counts_.size();
+    std::vector<std::pair<double, double>> points;
+    points.emplace_back(0.0, surv[0]);
+    for (std::size_t j = 0; j < bins; ++j) {
+        if (counts_[j] != 0 || j + 1 == bins) {
+            points.emplace_back(static_cast<double>(j + 1) / static_cast<double>(bins),
+                                surv[j + 1]);
+        }
+    }
+    return points;
+}
+
+}  // namespace natscale

@@ -1,0 +1,189 @@
+#include "stats/uniformity.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+std::string metric_name(UniformityMetric metric) {
+    switch (metric) {
+        case UniformityMetric::mk_proximity: return "M-K proximity";
+        case UniformityMetric::std_deviation: return "standard deviation";
+        case UniformityMetric::variation_coefficient: return "variation coefficient";
+        case UniformityMetric::shannon_entropy: return "Shannon entropy";
+        case UniformityMetric::cre: return "cumulative residual entropy";
+    }
+    return "unknown";
+}
+
+double integrate_abs_deviation(double a, double b, double c) {
+    NATSCALE_EXPECTS(0.0 <= a && a <= b && b <= 1.0);
+    NATSCALE_EXPECTS(0.0 <= c && c <= 1.0);
+    // |c - (1 - lambda)| = |lambda - x0| with crossing point x0 = 1 - c.
+    const double x0 = 1.0 - c;
+    auto left_part = [&](double lo, double hi) {  // lambda <= x0: x0 - lambda
+        return x0 * (hi - lo) - (hi * hi - lo * lo) / 2.0;
+    };
+    auto right_part = [&](double lo, double hi) {  // lambda >= x0: lambda - x0
+        return (hi * hi - lo * lo) / 2.0 - x0 * (hi - lo);
+    };
+    if (b <= x0) return left_part(a, b);
+    if (a >= x0) return right_part(a, b);
+    return left_part(a, x0) + right_part(x0, b);
+}
+
+namespace {
+
+/// Iterates the pieces of a step-function ICD: calls f(a, b, c) for every
+/// maximal interval [a, b) on which P(X > lambda) == c, covering [0, 1].
+template <typename F>
+void for_each_icd_piece(const EmpiricalDistribution& dist, F&& f) {
+    const auto samples = dist.sorted_samples();
+    const double m = static_cast<double>(samples.size());
+    double prev = 0.0;
+    std::size_t i = 0;
+    while (i < samples.size()) {
+        const double value = samples[i];
+        std::size_t j = i;
+        while (j < samples.size() && samples[j] == value) ++j;
+        if (value > prev) {
+            // On [prev, value): all samples from index i on are > lambda.
+            f(prev, value, static_cast<double>(samples.size() - i) / m);
+            prev = value;
+        }
+        i = j;
+    }
+    if (prev < 1.0) f(prev, 1.0, 0.0);
+}
+
+template <typename F>
+void for_each_icd_piece(const Histogram01& hist, F&& f) {
+    const auto surv = hist.survival_at_edges();
+    const std::size_t bins = hist.num_bins();
+    for (std::size_t j = 0; j < bins; ++j) {
+        f(static_cast<double>(j) / static_cast<double>(bins),
+          static_cast<double>(j + 1) / static_cast<double>(bins), surv[j]);
+    }
+}
+
+template <typename Dist>
+double mk_distance_impl(const Dist& dist) {
+    double area = 0.0;
+    for_each_icd_piece(dist, [&](double a, double b, double c) {
+        area += integrate_abs_deviation(a, b, c);
+    });
+    return area;
+}
+
+template <typename Dist>
+double cre_impl(const Dist& dist) {
+    double entropy = 0.0;
+    for_each_icd_piece(dist, [&](double a, double b, double c) {
+        if (c > 0.0 && c < 1.0) entropy -= c * std::log(c) * (b - a);
+    });
+    return entropy;
+}
+
+double shannon_from_slot_counts(const std::vector<std::uint64_t>& slot_counts,
+                                std::uint64_t total) {
+    if (total == 0) return 0.0;
+    double h = 0.0;
+    for (std::uint64_t c : slot_counts) {
+        if (c == 0) continue;
+        const double p = static_cast<double>(c) / static_cast<double>(total);
+        h -= p * std::log(p);
+    }
+    return h;
+}
+
+}  // namespace
+
+double mk_distance_to_uniform(const EmpiricalDistribution& dist) {
+    if (dist.empty()) return 0.5;  // empty "distribution": maximally far
+    return mk_distance_impl(dist);
+}
+
+double mk_proximity(const EmpiricalDistribution& dist) {
+    return 0.5 - mk_distance_to_uniform(dist);
+}
+
+double variation_coefficient(const EmpiricalDistribution& dist) {
+    const double mu = dist.mean();
+    if (mu == 0.0) return 0.0;
+    return dist.population_stddev() / mu;
+}
+
+double shannon_entropy(const EmpiricalDistribution& dist, std::size_t slots) {
+    NATSCALE_EXPECTS(slots >= 1);
+    std::vector<std::uint64_t> counts(slots, 0);
+    for (double x : dist.sorted_samples()) {
+        // Slot j covers (j/slots, (j+1)/slots]; values <= 0 go to slot 0.
+        std::size_t idx =
+            x <= 0.0 ? 0
+                     : static_cast<std::size_t>(std::ceil(x * static_cast<double>(slots))) - 1;
+        if (idx >= slots) idx = slots - 1;
+        ++counts[idx];
+    }
+    return shannon_from_slot_counts(counts, dist.size());
+}
+
+double cumulative_residual_entropy(const EmpiricalDistribution& dist) {
+    if (dist.empty()) return 0.0;
+    return cre_impl(dist);
+}
+
+double mk_distance_to_uniform(const Histogram01& hist) {
+    if (hist.empty()) return 0.5;
+    return mk_distance_impl(hist);
+}
+
+double mk_proximity(const Histogram01& hist) { return 0.5 - mk_distance_to_uniform(hist); }
+
+double variation_coefficient(const Histogram01& hist) {
+    const double mu = hist.mean();
+    if (mu == 0.0) return 0.0;
+    return hist.population_stddev() / mu;
+}
+
+double shannon_entropy(const Histogram01& hist, std::size_t slots) {
+    NATSCALE_EXPECTS(slots >= 1);
+    const std::size_t bins = hist.num_bins();
+    std::vector<std::uint64_t> slot_counts(slots, 0);
+    for (std::size_t j = 0; j < bins; ++j) {
+        // The mass of bin j sits at its right edge (j+1)/bins.
+        const double x = static_cast<double>(j + 1) / static_cast<double>(bins);
+        std::size_t idx = static_cast<std::size_t>(std::ceil(x * static_cast<double>(slots))) - 1;
+        if (idx >= slots) idx = slots - 1;
+        slot_counts[idx] += hist.counts()[j];
+    }
+    return shannon_from_slot_counts(slot_counts, hist.total());
+}
+
+double cumulative_residual_entropy(const Histogram01& hist) {
+    if (hist.empty()) return 0.0;
+    return cre_impl(hist);
+}
+
+UniformityScores compute_all_metrics(const Histogram01& hist, std::size_t shannon_slots) {
+    UniformityScores scores;
+    scores.mk_proximity = mk_proximity(hist);
+    scores.std_deviation = hist.population_stddev();
+    scores.variation_coefficient = variation_coefficient(hist);
+    scores.shannon_entropy = shannon_entropy(hist, shannon_slots);
+    scores.cre = cumulative_residual_entropy(hist);
+    return scores;
+}
+
+double score_of(const UniformityScores& scores, UniformityMetric metric) {
+    switch (metric) {
+        case UniformityMetric::mk_proximity: return scores.mk_proximity;
+        case UniformityMetric::std_deviation: return scores.std_deviation;
+        case UniformityMetric::variation_coefficient: return scores.variation_coefficient;
+        case UniformityMetric::shannon_entropy: return scores.shannon_entropy;
+        case UniformityMetric::cre: return scores.cre;
+    }
+    return 0.0;
+}
+
+}  // namespace natscale

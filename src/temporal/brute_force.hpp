@@ -1,0 +1,58 @@
+// Reference implementations of temporal reachability, written independently
+// of the backward DP so the test suite can cross-check it.
+//
+// Two oracles of different character:
+//  * forward_arrival_table: for every start window k and source u, a forward
+//    label-correcting search over (node, arrival-window) states.  Handles a
+//    few thousand (k, u) combinations; used in randomized property tests.
+//  * exhaustive_minimal_trips: literal enumeration of every temporal path
+//    (Definition 3) followed by Pareto-filtering of trip intervals
+//    (Definition 5).  Exponential; only for tiny instances, but it encodes
+//    the paper's definitions with no algorithmic insight whatsoever.
+#pragma once
+
+#include <vector>
+
+#include "linkstream/graph_series.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// Earliest arrivals and matching minimal hop counts for every start window.
+/// Indexing: value for (k, u, v) at [((k-1) * n + u) * n + v], k in 1..K.
+struct ArrivalTable {
+    NodeId n = 0;
+    WindowIndex K = 0;
+    std::vector<Time> arr;
+    std::vector<Hops> hops;
+
+    Time arrival(WindowIndex k, NodeId u, NodeId v) const {
+        return arr[(static_cast<std::size_t>(k - 1) * n + u) * n + v];
+    }
+    Hops hop_count(WindowIndex k, NodeId u, NodeId v) const {
+        return hops[(static_cast<std::size_t>(k - 1) * n + u) * n + v];
+    }
+};
+
+/// Forward-search oracle.  Memory Theta(K n^2): small instances only.
+ArrivalTable forward_arrival_table(const GraphSeries& series);
+
+/// Minimal trips derived from an arrival table: (u, v, k, a) is minimal iff
+/// a = arrival(k) is finite and either k == K or arrival(k+1) > a.
+std::vector<MinimalTrip> minimal_trips_from_table(const ArrivalTable& table);
+
+/// Exhaustive-path oracle; `max_hops` bounds the enumeration depth (paths in
+/// a series of K windows never exceed K hops).  Tiny instances only.
+std::vector<MinimalTrip> exhaustive_minimal_trips(const GraphSeries& series);
+
+/// Every temporal path of the series as an explicit hop sequence, for tests
+/// that check Definition 3 invariants directly.  Tiny instances only.
+struct TemporalPathRecord {
+    std::vector<Edge> hops;          // hop i goes hops[i].first -> hops[i].second
+    std::vector<WindowIndex> times;  // strictly increasing window of each hop
+};
+std::vector<TemporalPathRecord> enumerate_temporal_paths(const GraphSeries& series,
+                                                         std::size_t max_paths = 2'000'000);
+
+}  // namespace natscale

@@ -1,0 +1,105 @@
+#include "temporal/path_finder.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+namespace {
+
+/// One reachability improvement: `node` became reachable at window `w` with
+/// `h` hops, via `hop`, extending the improvement `pred` (or the source when
+/// pred < 0).  Records form the predecessor forest used for backtracking;
+/// they are immutable once appended, so paths extracted later remain valid.
+struct Record {
+    NodeId node;
+    WindowIndex w;
+    Hops h;
+    TemporalHop hop;
+    std::int32_t pred;
+};
+
+}  // namespace
+
+std::optional<std::vector<TemporalHop>> find_temporal_path(const GraphSeries& series,
+                                                           NodeId source, NodeId target,
+                                                           WindowIndex departure) {
+    const NodeId n = series.num_nodes();
+    NATSCALE_EXPECTS(source < n && target < n);
+    NATSCALE_EXPECTS(departure >= 1);
+    if (source == target) return std::vector<TemporalHop>{};  // empty path at the node
+
+    std::vector<Record> records;
+    // Per node: the record achieving the earliest arrival (and minimum hops
+    // at that arrival), and the record with the fewest hops overall — a path
+    // through a node reached later but in fewer hops can still be optimal
+    // for nodes downstream.
+    std::vector<std::int32_t> first_record(n, -1);
+    std::vector<std::int32_t> best_hops_record(n, -1);
+
+    struct Update {
+        NodeId node;
+        Hops h;
+        TemporalHop hop;
+        std::int32_t pred;
+    };
+    std::vector<Update> updates;
+
+    for (const auto& snap : series.snapshots()) {
+        if (snap.k < departure) continue;
+        if (first_record[target] >= 0 &&
+            snap.k > records[static_cast<std::size_t>(first_record[target])].w) {
+            break;  // the target's earliest arrival can no longer improve
+        }
+        updates.clear();
+        auto relax = [&](NodeId x, NodeId y) {
+            // All existing records end strictly before this window (updates
+            // are applied after the window), satisfying Remark 1.
+            if (x == source) {
+                updates.push_back({y, 1, {x, y, snap.k}, -1});
+                return;
+            }
+            const std::int32_t pred = best_hops_record[x];
+            if (pred < 0) return;
+            const auto& from = records[static_cast<std::size_t>(pred)];
+            updates.push_back({y, static_cast<Hops>(from.h + 1), {x, y, snap.k}, pred});
+        };
+        for (const auto& [u, v] : snap.edges) {
+            relax(u, v);
+            if (!series.directed()) relax(v, u);
+        }
+        for (const auto& update : updates) {
+            const NodeId y = update.node;
+            if (y == source) continue;
+            const std::int32_t best = best_hops_record[y];
+            const bool improves_hops =
+                best < 0 || update.h < records[static_cast<std::size_t>(best)].h;
+            const std::int32_t first = first_record[y];
+            const bool improves_first =
+                first < 0 ||
+                (records[static_cast<std::size_t>(first)].w == snap.k &&
+                 update.h < records[static_cast<std::size_t>(first)].h);
+            if (!improves_hops && !improves_first) continue;
+            records.push_back({y, snap.k, update.h, update.hop, update.pred});
+            const auto idx = static_cast<std::int32_t>(records.size() - 1);
+            if (improves_hops) best_hops_record[y] = idx;
+            if (improves_first) first_record[y] = idx;
+        }
+    }
+    if (first_record[target] < 0) return std::nullopt;
+
+    // Backtrack the predecessor chain of the earliest-arrival, minimum-hop
+    // record of the target; windows strictly decrease along the chain.
+    std::vector<TemporalHop> path;
+    std::int32_t cursor = first_record[target];
+    while (cursor >= 0) {
+        path.push_back(records[static_cast<std::size_t>(cursor)].hop);
+        cursor = records[static_cast<std::size_t>(cursor)].pred;
+    }
+    std::reverse(path.begin(), path.end());
+    NATSCALE_ENSURES(path.front().u == source && path.back().v == target);
+    return path;
+}
+
+}  // namespace natscale

@@ -1,0 +1,28 @@
+// Witness extraction: materialize an actual temporal path realizing a trip.
+//
+// The sweep engine only reports that a minimal trip exists (its endpoints,
+// times and hop count).  Downstream users analysing concrete propagation
+// routes — who infected whom, through which intermediaries — need the path
+// itself.  find_temporal_path reconstructs one earliest-arrival,
+// minimum-hop temporal path by forward search; its output always validates
+// against Definition 3 (see temporal/temporal_path.hpp).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linkstream/graph_series.hpp"
+#include "temporal/temporal_path.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// An earliest-arrival temporal path from `source` to `target` departing at
+/// window >= `departure`, with the minimum number of hops among earliest-
+/// arrival paths; nullopt when the target is unreachable.  O(n + M) over the
+/// snapshots at windows >= departure.
+std::optional<std::vector<TemporalHop>> find_temporal_path(const GraphSeries& series,
+                                                           NodeId source, NodeId target,
+                                                           WindowIndex departure = 1);
+
+}  // namespace natscale

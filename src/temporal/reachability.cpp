@@ -1,0 +1,38 @@
+#include "temporal/reachability.hpp"
+
+#include <algorithm>
+
+namespace natscale {
+
+void TemporalReachability::prepare(NodeId n) {
+    n_ = n;
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+    arr_.assign(cells, kInfiniteTime);
+    hops_.assign(cells, kInfiniteHops);
+    if (slot_.size() < n) slot_.assign(n, -1);
+    std::fill(slot_.begin(), slot_.end(), -1);
+    active_.clear();
+}
+
+void TemporalReachability::build_arcs_from_edges(std::span<const Edge> edges, bool directed) {
+    arcs_.clear();
+    arcs_.reserve(directed ? edges.size() : 2 * edges.size());
+    for (const auto& [u, v] : edges) {
+        arcs_.emplace_back(u, v);
+        if (!directed) arcs_.emplace_back(v, u);
+    }
+    std::sort(arcs_.begin(), arcs_.end());
+    arcs_.erase(std::unique(arcs_.begin(), arcs_.end()), arcs_.end());
+}
+
+Time TemporalReachability::arrival(NodeId u, NodeId v) const {
+    NATSCALE_EXPECTS(u < n_ && v < n_);
+    return arr_[static_cast<std::size_t>(u) * n_ + v];
+}
+
+Hops TemporalReachability::hop_count(NodeId u, NodeId v) const {
+    NATSCALE_EXPECTS(u < n_ && v < n_);
+    return hops_[static_cast<std::size_t>(u) * n_ + v];
+}
+
+}  // namespace natscale

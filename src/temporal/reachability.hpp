@@ -1,0 +1,229 @@
+// Temporal reachability: the backward dynamic program of the paper
+// (Section 5) that enumerates all minimal trips of a graph series or link
+// stream in O(nM) time, where n is the number of nodes and M the total
+// number of edges over all snapshots.
+//
+// The sweep processes event times in decreasing order.  Its state after
+// processing time k+1 is, for every ordered pair (u, v):
+//
+//     arr[u][v]  = earliest arrival among temporal paths u -> v departing
+//                  at time >= k+1 (kInfiniteTime if none), and
+//     hops[u][v] = minimum hop count among such earliest-arrival paths.
+//
+// Processing time k relaxes every link (u, w) occurring at k:
+//     - the direct candidate (arrival k, 1 hop) for pair (u, w), and
+//     - for every v, the continuation candidate
+//       (arr_old[w][v], hops_old[w][v] + 1),
+// where arr_old is the state before time k (a temporal path cannot take two
+// links at the same time — Remark 1 — so the continuation must depart at or
+// after k+1).  Ties in arrival are broken towards fewer hops.
+//
+// A trip (u, v, k, a) is minimal exactly when delaying the departure past k
+// strictly increases the earliest arrival, i.e. when the relaxation at k
+// strictly improves arr[u][v]; the sweep therefore emits one MinimalTrip per
+// strict improvement.  This yields every minimal trip of the input exactly
+// once.
+//
+// The same sweep optionally drives a DistanceAccumulator (mean d_time /
+// d_hops over all start windows, Fig. 2) and supports deterministic pair
+// sampling for the expensive elongation validation of Section 8.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "linkstream/graph_series.hpp"
+#include "linkstream/link_stream.hpp"
+#include "temporal/distance_stats.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+struct ReachabilityOptions {
+    /// If non-null, fed with every value change so that mean d_time/d_hops
+    /// over all (u, v, t) can be computed exactly.  Series mode only.
+    DistanceAccumulator* distances = nullptr;
+
+    /// Deterministic pair sampling: minimal trips of ordered pair (u, v) are
+    /// reported only when hash64(u * n + v) % pair_sample_divisor == 0.
+    /// 1 (default) reports every trip.  Sampling selects whole pairs, so the
+    /// per-pair trip structure needed by the elongation measure is preserved.
+    std::uint64_t pair_sample_divisor = 1;
+};
+
+/// Reusable sweep engine.  Construction is cheap; the O(n^2) state is
+/// allocated on first use and reused across scans (the occupancy method runs
+/// one scan per aggregation period on the same node set).
+class TemporalReachability {
+public:
+    /// Enumerates all minimal trips of the series, in decreasing order of
+    /// departure window.  `sink` is invoked as sink(const MinimalTrip&) with
+    /// dep/arr being 1-based window indices.
+    template <typename Sink>
+    void scan_series(const GraphSeries& series, Sink&& sink,
+                     const ReachabilityOptions& options = {});
+
+    /// Enumerates all minimal trips of the raw link stream (each distinct
+    /// timestamp is its own instant; dep/arr are timestamps).  Distance
+    /// accumulation is not supported in stream mode.
+    template <typename Sink>
+    void scan_stream(const LinkStream& stream, Sink&& sink,
+                     const ReachabilityOptions& options = {});
+
+    /// Final earliest-arrival table of the last scan: arr(u, v) is the
+    /// earliest arrival over paths departing at any time (>= 1 / >= first
+    /// timestamp).  Exposed for tests and for reachability analyses.
+    Time arrival(NodeId u, NodeId v) const;
+    Hops hop_count(NodeId u, NodeId v) const;
+
+private:
+    void prepare(NodeId n);
+
+    /// Deduplicated directed arcs of the current instant, sorted by source.
+    void build_arcs_from_edges(std::span<const Edge> edges, bool directed);
+
+    template <typename Sink>
+    void process_instant(Time label, Sink& sink, const ReachabilityOptions& options);
+
+    bool keep_pair(NodeId u, NodeId v, std::uint64_t divisor) const {
+        return divisor <= 1 ||
+               hash64(static_cast<std::uint64_t>(u) * n_ + v) % divisor == 0;
+    }
+
+    NodeId n_ = 0;
+    std::vector<Time> arr_;
+    std::vector<Hops> hops_;
+    std::vector<Time> scratch_arr_;
+    std::vector<Hops> scratch_hops_;
+    std::vector<std::int32_t> slot_;    // node -> scratch slot, -1 when inactive
+    std::vector<NodeId> active_;        // nodes with a scratch slot this instant
+    std::vector<Edge> arcs_;            // current instant, sorted by source
+};
+
+// --- implementation --------------------------------------------------------
+
+template <typename Sink>
+void TemporalReachability::scan_series(const GraphSeries& series, Sink&& sink,
+                                       const ReachabilityOptions& options) {
+    prepare(series.num_nodes());
+    if (options.distances != nullptr) {
+        options.distances->begin(series.num_nodes(), series.num_windows());
+    }
+    const auto snapshots = series.snapshots();
+    for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+        build_arcs_from_edges(it->edges, series.directed());
+        process_instant(it->k, sink, options);
+    }
+    if (options.distances != nullptr) options.distances->finish(arr_, hops_);
+}
+
+template <typename Sink>
+void TemporalReachability::scan_stream(const LinkStream& stream, Sink&& sink,
+                                       const ReachabilityOptions& options) {
+    NATSCALE_EXPECTS(options.distances == nullptr);  // series mode only
+    prepare(stream.num_nodes());
+    const auto events = stream.events();
+    std::vector<Edge> group_edges;
+    std::size_t end = events.size();
+    while (end > 0) {
+        const Time t = events[end - 1].t;
+        std::size_t begin = end;
+        while (begin > 0 && events[begin - 1].t == t) --begin;
+        group_edges.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            group_edges.emplace_back(events[i].u, events[i].v);
+        }
+        build_arcs_from_edges(group_edges, stream.directed());
+        process_instant(t, sink, options);
+        end = begin;
+    }
+}
+
+template <typename Sink>
+void TemporalReachability::process_instant(Time label, Sink& sink,
+                                           const ReachabilityOptions& options) {
+    const std::size_t n = n_;
+
+    // 1. Assign scratch slots to every node touched at this instant.
+    active_.clear();
+    auto ensure_slot = [&](NodeId x) {
+        if (slot_[x] < 0) {
+            slot_[x] = static_cast<std::int32_t>(active_.size());
+            active_.push_back(x);
+        }
+    };
+    for (const auto& [src, dst] : arcs_) {
+        ensure_slot(src);
+        ensure_slot(dst);
+    }
+
+    // 2. Snapshot the pre-instant rows of all touched nodes: continuations
+    //    must use the state of departures strictly after this instant.
+    if (scratch_arr_.size() < active_.size() * n) {
+        scratch_arr_.resize(active_.size() * n);
+        scratch_hops_.resize(active_.size() * n);
+    }
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+        const std::size_t row = static_cast<std::size_t>(active_[s]) * n;
+        std::memcpy(&scratch_arr_[s * n], &arr_[row], n * sizeof(Time));
+        std::memcpy(&scratch_hops_[s * n], &hops_[row], n * sizeof(Hops));
+    }
+
+    // 3. Relax each source's arcs against the scratch state.
+    std::size_t i = 0;
+    while (i < arcs_.size()) {
+        const NodeId u = arcs_[i].first;
+        Time* row_a = &arr_[static_cast<std::size_t>(u) * n];
+        Hops* row_h = &hops_[static_cast<std::size_t>(u) * n];
+        for (; i < arcs_.size() && arcs_[i].first == u; ++i) {
+            const NodeId w = arcs_[i].second;
+            // Direct hop u -> w at this instant.
+            if (label < row_a[w] || (label == row_a[w] && row_h[w] > 1)) {
+                row_a[w] = label;
+                row_h[w] = 1;
+            }
+            // Continuations u -> w (now) -> ... -> v (later).
+            Time* wa = &scratch_arr_[static_cast<std::size_t>(slot_[w]) * n];
+            Hops* wh = &scratch_hops_[static_cast<std::size_t>(slot_[w]) * n];
+            const Time saved = wa[u];
+            wa[u] = kInfiniteTime;  // never relax the diagonal pair (u, u)
+            for (std::size_t v = 0; v < n; ++v) {
+                const Time a = wa[v];
+                if (a == kInfiniteTime) continue;
+                const Hops h = static_cast<Hops>(wh[v] + 1);
+                if (a < row_a[v] || (a == row_a[v] && h < row_h[v])) {
+                    row_a[v] = a;
+                    row_h[v] = h;
+                }
+            }
+            wa[u] = saved;
+        }
+
+        // 4. Every strict arrival improvement is a minimal trip departing at
+        //    this instant; any value change feeds the distance accumulator.
+        const Time* old_a = &scratch_arr_[static_cast<std::size_t>(slot_[u]) * n];
+        const Hops* old_h = &scratch_hops_[static_cast<std::size_t>(slot_[u]) * n];
+        for (std::size_t v = 0; v < n; ++v) {
+            if (row_a[v] == old_a[v] && (row_a[v] == kInfiniteTime || row_h[v] == old_h[v])) {
+                continue;
+            }
+            if (options.distances != nullptr) {
+                options.distances->record_change(u, static_cast<NodeId>(v), label, old_a[v],
+                                                 old_h[v]);
+            }
+            if (row_a[v] < old_a[v] &&
+                keep_pair(u, static_cast<NodeId>(v), options.pair_sample_divisor)) {
+                sink(MinimalTrip{u, static_cast<NodeId>(v), label, row_a[v], row_h[v]});
+            }
+        }
+    }
+
+    // 5. Release scratch slots.
+    for (NodeId x : active_) slot_[x] = -1;
+}
+
+}  // namespace natscale

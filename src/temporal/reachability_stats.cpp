@@ -1,0 +1,53 @@
+#include "temporal/reachability_stats.hpp"
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+namespace {
+
+ReachabilityCensus census_from_engine(const TemporalReachability& engine, NodeId n) {
+    ReachabilityCensus census;
+    census.out_reach.assign(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (u != v && engine.arrival(u, v) != kInfiniteTime) {
+                ++census.out_reach[u];
+            }
+        }
+        census.reachable_pairs += census.out_reach[u];
+        if (census.out_reach[u] > census.max_out_reach) {
+            census.max_out_reach = census.out_reach[u];
+            census.max_source = u;
+        }
+    }
+    return census;
+}
+
+}  // namespace
+
+ReachabilityCensus reachability_census(const GraphSeries& series) {
+    TemporalReachability engine;
+    engine.scan_series(series, [](const MinimalTrip&) {});
+    return census_from_engine(engine, series.num_nodes());
+}
+
+ReachabilityCensus reachability_census(const LinkStream& stream) {
+    TemporalReachability engine;
+    engine.scan_stream(stream, [](const MinimalTrip&) {});
+    return census_from_engine(engine, stream.num_nodes());
+}
+
+double reachable_pairs_retention(const LinkStream& stream, Time delta) {
+    NATSCALE_EXPECTS(delta >= 1);
+    const auto truth = reachability_census(stream);
+    if (truth.reachable_pairs == 0) return 1.0;
+    const auto aggregated = reachability_census(aggregate(stream, delta));
+    NATSCALE_ENSURES(aggregated.reachable_pairs <= truth.reachable_pairs);
+    return static_cast<double>(aggregated.reachable_pairs) /
+           static_cast<double>(truth.reachable_pairs);
+}
+
+}  // namespace natscale

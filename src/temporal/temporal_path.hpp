@@ -1,0 +1,80 @@
+// Temporal paths (Definitions 2 and 3) as explicit objects, with validators.
+//
+// The algorithms of this library never materialize paths — they only need
+// arrival times and hop counts — but tests, examples and downstream users do;
+// these helpers check the paper's definitions literally.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linkstream/graph_series.hpp"
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// One hop of a temporal path: link from `u` to `v` taken at time `t`
+/// (a timestamp in a link stream, a window index in a graph series).
+struct TemporalHop {
+    NodeId u = 0;
+    NodeId v = 0;
+    Time t = 0;
+};
+
+/// Checks Definition 2: consecutive hops share endpoints (u_i = v_{i-1}),
+/// times strictly increase, and every hop is a link of the stream at its
+/// time.  Undirected streams accept hops in either edge orientation.
+inline bool is_temporal_path(const LinkStream& stream, std::span<const TemporalHop> path) {
+    if (path.empty()) return false;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) {
+            if (path[i].u != path[i - 1].v) return false;
+            if (path[i].t <= path[i - 1].t) return false;  // strict (Remark 1)
+        }
+        bool found = false;
+        for (const auto& e : stream.events()) {
+            if (e.t != path[i].t) continue;
+            if (e.u == path[i].u && e.v == path[i].v) found = true;
+            if (!stream.directed() && e.u == path[i].v && e.v == path[i].u) found = true;
+            if (found) break;
+        }
+        if (!found) return false;
+    }
+    return true;
+}
+
+/// Checks Definition 3: same as above with windows of the series.
+inline bool is_temporal_path(const GraphSeries& series, std::span<const TemporalHop> path) {
+    if (path.empty()) return false;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) {
+            if (path[i].u != path[i - 1].v) return false;
+            if (path[i].t <= path[i - 1].t) return false;  // strict (Remark 1)
+        }
+        if (path[i].t < 1 || path[i].t > series.num_windows()) return false;
+        const bool present = series.has_edge_at(path[i].t, path[i].u, path[i].v) ||
+                             (!series.directed() &&
+                              series.has_edge_at(path[i].t, path[i].v, path[i].u));
+        if (!present) return false;
+    }
+    return true;
+}
+
+/// hops(P): the number of edges of the path (Definition 4).
+inline Hops path_hops(std::span<const TemporalHop> path) {
+    return static_cast<Hops>(path.size());
+}
+
+/// time(P) in a link stream: t_l - t_1 (Definition 4).
+inline Time path_time_stream(std::span<const TemporalHop> path) {
+    return path.empty() ? 0 : path.back().t - path.front().t;
+}
+
+/// time(P) in a graph series: t_l - t_1 + 1, because each index denotes a
+/// whole window rather than an instant (Definition 4).
+inline Time path_time_series(std::span<const TemporalHop> path) {
+    return path.empty() ? 0 : path.back().t - path.front().t + 1;
+}
+
+}  // namespace natscale

@@ -1,0 +1,28 @@
+#include "temporal/transitions.hpp"
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+ShortestTransitionSet::ShortestTransitionSet(const LinkStream& stream) {
+    TemporalReachability engine;
+    engine.scan_stream(stream, [&](const MinimalTrip& trip) {
+        if (trip.hops == 2) {
+            hop_times_.emplace_back(trip.dep, trip.arr);
+        }
+    });
+}
+
+double ShortestTransitionSet::lost_fraction(Time delta) const {
+    NATSCALE_EXPECTS(delta >= 1);
+    if (hop_times_.empty()) return 0.0;
+    std::size_t lost = 0;
+    for (const auto& [t1, t2] : hop_times_) {
+        if (window_of(t1, delta) == window_of(t2, delta)) ++lost;
+    }
+    return static_cast<double>(lost) / static_cast<double>(hop_times_.size());
+}
+
+}  // namespace natscale

@@ -1,0 +1,77 @@
+// Per-pair store of the minimal trips of a raw link stream, with interval
+// queries: the substrate of the elongation-factor validation (paper
+// Section 8, Definition 8, Fig. 8 right).
+//
+// For a fixed ordered pair (u, v), minimal trips form a staircase: both
+// departure times and arrival times are strictly increasing (two minimal
+// trips cannot be nested).  The store keeps each pair's trips sorted by
+// departure, so "minimum duration among trips inside the absolute window
+// [A, B]" is a binary search plus a short scan.
+//
+// Real traces can hold tens of millions of stream minimal trips; the store
+// therefore supports the same deterministic pair sampling as the
+// reachability engine (whole pairs kept or dropped), which keeps the
+// elongation mean unbiased while bounding memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+class StreamTripStore {
+public:
+    struct Options {
+        /// Keep ordered pair (u, v) iff hash64(u*n+v) % divisor == 0; must
+        /// match the divisor used when scanning aggregated series so both
+        /// sides see the same pairs.
+        std::uint64_t pair_sample_divisor = 1;
+    };
+
+    /// Scans the stream and stores its minimal trips (stream time
+    /// convention: dep/arr are timestamps).
+    StreamTripStore(const LinkStream& stream, const Options& options);
+    explicit StreamTripStore(const LinkStream& stream) : StreamTripStore(stream, Options{}) {}
+
+    /// Total number of stored trips.
+    std::size_t size() const noexcept { return deps_.size(); }
+
+    std::uint64_t pair_sample_divisor() const noexcept { return divisor_; }
+
+    /// Minimum duration (arr - dep, in ticks) among stored minimal trips of
+    /// (u, v) with dep >= window_begin and arr <= window_end; nullopt when
+    /// none exists.
+    std::optional<Time> min_duration_within(NodeId u, NodeId v, Time window_begin,
+                                            Time window_end) const;
+
+    /// All stored trips of a pair as parallel (dep, arr) spans, sorted by
+    /// departure; for tests.
+    std::pair<std::span<const Time>, std::span<const Time>> trips_of(NodeId u, NodeId v) const;
+
+    /// Counts the stream's minimal trips without storing them, honouring the
+    /// same sampling.  Used to pick a divisor that fits a memory budget.
+    static std::uint64_t count_trips(const LinkStream& stream,
+                                     std::uint64_t pair_sample_divisor = 1);
+
+private:
+    struct PairRange {
+        std::uint64_t key;  // u * n + v
+        std::uint32_t begin;
+        std::uint32_t end;
+    };
+
+    const PairRange* find_pair(std::uint64_t key) const;
+
+    NodeId n_ = 0;
+    std::uint64_t divisor_ = 1;
+    std::vector<PairRange> index_;  // sorted by key
+    std::vector<Time> deps_;        // trips grouped by pair, dep ascending
+    std::vector<Time> arrs_;
+};
+
+}  // namespace natscale

@@ -1,0 +1,51 @@
+// Contract checking for the natscale library.
+//
+// Following the C++ Core Guidelines (I.5/I.7), public interfaces state their
+// preconditions and postconditions explicitly.  Violations throw
+// `natscale::contract_error` rather than aborting, so that the test suite can
+// exercise failure paths (failure injection) and so that a host application
+// embedding the library can recover from misuse at module boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace natscale {
+
+/// Thrown when a precondition, postcondition or internal invariant of the
+/// library is violated.  The message names the violated condition and the
+/// function that detected it.
+class contract_error : public std::logic_error {
+public:
+    explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* func) {
+    throw contract_error(std::string(kind) + " violated: (" + cond + ") in " + func);
+}
+}  // namespace detail
+
+}  // namespace natscale
+
+/// Precondition check: validates arguments at function entry.
+#define NATSCALE_EXPECTS(cond)                                                     \
+    do {                                                                           \
+        if (!(cond)) ::natscale::detail::contract_failure("precondition", #cond,   \
+                                                          __func__);               \
+    } while (false)
+
+/// Postcondition check: validates results before returning them.
+#define NATSCALE_ENSURES(cond)                                                     \
+    do {                                                                           \
+        if (!(cond)) ::natscale::detail::contract_failure("postcondition", #cond,  \
+                                                          __func__);               \
+    } while (false)
+
+/// Internal invariant check; cheap enough to keep enabled in release builds.
+#define NATSCALE_CHECK(cond)                                                       \
+    do {                                                                           \
+        if (!(cond)) ::natscale::detail::contract_failure("invariant", #cond,      \
+                                                          __func__);               \
+    } while (false)

@@ -1,0 +1,25 @@
+// Human-readable formatting of durations and quantities for the benchmark
+// harness output, which mirrors the axes of the paper's figures (aggregation
+// periods are reported in hours there).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// "2d 6h", "18.0h", "12.5min", "42s" — chooses the largest natural unit.
+std::string format_duration(double seconds);
+
+/// Seconds expressed in hours (the unit of the paper's x-axes).
+double seconds_to_hours(double seconds) noexcept;
+
+/// Fixed-precision decimal, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Thousands-separated integer, e.g. 82894 -> "82,894".
+std::string format_count(std::uint64_t value);
+
+}  // namespace natscale

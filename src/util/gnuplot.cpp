@@ -1,0 +1,48 @@
+#include "util/gnuplot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace natscale {
+
+namespace {
+void write_block(std::ofstream& os, const DataSeries& series) {
+    os << "# " << series.name << '\n';
+    os << '#';
+    for (const auto& col : series.column_names) os << ' ' << col;
+    os << '\n';
+    for (const auto& row : series.rows) {
+        if (row.size() != series.column_names.size()) {
+            throw std::runtime_error("write_dat: ragged row in series '" + series.name + "'");
+        }
+        bool first = true;
+        for (double v : row) {
+            if (!first) os << ' ';
+            first = false;
+            os << v;
+        }
+        os << '\n';
+    }
+}
+}  // namespace
+
+void write_dat(const std::string& path, const DataSeries& series) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_dat: cannot open '" + path + "'");
+    os.precision(12);
+    write_block(os, series);
+}
+
+void write_dat_blocks(const std::string& path, const std::vector<DataSeries>& blocks) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_dat_blocks: cannot open '" + path + "'");
+    os.precision(12);
+    bool first = true;
+    for (const auto& block : blocks) {
+        if (!first) os << "\n\n";
+        first = false;
+        write_block(os, block);
+    }
+}
+
+}  // namespace natscale

@@ -1,0 +1,28 @@
+// Writers for gnuplot-style .dat series files.
+//
+// Each bench binary, in addition to printing its table to stdout, can dump the
+// underlying series to `<output_dir>/<name>.dat` so the paper's figures can be
+// re-plotted directly (`plot "fig3_mk.dat" using 1:2 with lines`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace natscale {
+
+struct DataSeries {
+    std::string name;                        // series title (gnuplot comment)
+    std::vector<std::string> column_names;   // axis labels (gnuplot comment)
+    std::vector<std::vector<double>> rows;   // one inner vector per point
+};
+
+/// Writes the series as whitespace-separated columns with '#' comments.
+/// Throws std::runtime_error if the file cannot be written or if rows are
+/// ragged with respect to column_names.
+void write_dat(const std::string& path, const DataSeries& series);
+
+/// Writes several series into one file separated by two blank lines (gnuplot
+/// "index" convention), e.g. the family of ICD curves of Fig. 3 left.
+void write_dat_blocks(const std::string& path, const std::vector<DataSeries>& blocks);
+
+}  // namespace natscale

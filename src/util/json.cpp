@@ -1,0 +1,155 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char ch : text) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (ch < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(ch);
+                }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::comma() {
+    if (!has_items_.empty()) {
+        if (has_items_.back()) out_ << ',';
+        has_items_.back() = true;
+    }
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+    NATSCALE_EXPECTS(!stack_.empty() && stack_.back() == Scope::object);
+    comma();
+    out_ << '"' << json_escape(key) << "\":";
+}
+
+void JsonWriter::raw(const std::string& text) { out_ << text; }
+
+JsonWriter& JsonWriter::begin_object() {
+    NATSCALE_EXPECTS(stack_.empty() || stack_.back() == Scope::array);
+    comma();
+    out_ << '{';
+    stack_.push_back(Scope::object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+    key_prefix(key);
+    out_ << '{';
+    stack_.push_back(Scope::object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    NATSCALE_EXPECTS(!stack_.empty() && stack_.back() == Scope::object);
+    out_ << '}';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+    key_prefix(key);
+    out_ << '[';
+    stack_.push_back(Scope::array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    NATSCALE_EXPECTS(!stack_.empty() && stack_.back() == Scope::array);
+    out_ << ']';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+namespace {
+std::string number_to_json(double value) {
+    if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+}  // namespace
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+    key_prefix(key);
+    out_ << '"' << json_escape(value) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+    key_prefix(key);
+    out_ << number_to_json(value);
+    return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
+    key_prefix(key);
+    out_ << value;
+    return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
+    key_prefix(key);
+    out_ << value;
+    return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+    key_prefix(key);
+    out_ << (value ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    NATSCALE_EXPECTS(!stack_.empty() && stack_.back() == Scope::array);
+    comma();
+    out_ << number_to_json(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    NATSCALE_EXPECTS(!stack_.empty() && stack_.back() == Scope::array);
+    comma();
+    out_ << v;
+    return *this;
+}
+
+std::string JsonWriter::str() const {
+    NATSCALE_EXPECTS(stack_.empty());
+    return out_.str();
+}
+
+}  // namespace natscale

@@ -1,0 +1,57 @@
+// Minimal JSON emission for exporting analysis results to pipelines.
+//
+// Writing only (the library never consumes JSON), no external dependency;
+// strings are escaped per RFC 8259, doubles printed with 17 significant
+// digits so values round-trip.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace natscale {
+
+/// Streaming JSON writer with explicit nesting: push objects/arrays, emit
+/// keyed or plain values, pop.  Misuse (mismatched pops, keys inside
+/// arrays) throws contract_error.
+class JsonWriter {
+public:
+    JsonWriter();
+
+    JsonWriter& begin_object();
+    JsonWriter& begin_object(const std::string& key);
+    JsonWriter& end_object();
+
+    JsonWriter& begin_array(const std::string& key);
+    JsonWriter& end_array();
+
+    JsonWriter& field(const std::string& key, const std::string& value);
+    JsonWriter& field(const std::string& key, const char* value);
+    JsonWriter& field(const std::string& key, double value);
+    JsonWriter& field(const std::string& key, std::int64_t value);
+    JsonWriter& field(const std::string& key, std::uint64_t value);
+    JsonWriter& field(const std::string& key, bool value);
+
+    /// Array element (no key).
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+
+    /// Finishes and returns the document.  Precondition: nesting closed.
+    std::string str() const;
+
+private:
+    enum class Scope { object, array };
+    void comma();
+    void key_prefix(const std::string& key);
+    void raw(const std::string& text);
+
+    std::ostringstream out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> has_items_;
+};
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+std::string json_escape(const std::string& text);
+
+}  // namespace natscale

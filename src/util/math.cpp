@@ -1,0 +1,59 @@
+#include "util/math.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+void KahanSum::add(double x) noexcept {
+    const double y = x - comp_;
+    const double t = sum_ + y;
+    comp_ = (t - sum_) - y;
+    sum_ = t;
+}
+
+double mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    KahanSum s;
+    for (double x : xs) s.add(x);
+    return s.value() / static_cast<double>(xs.size());
+}
+
+double population_variance(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    const double mu = mean(xs);
+    KahanSum s;
+    for (double x : xs) s.add((x - mu) * (x - mu));
+    return s.value() / static_cast<double>(xs.size());
+}
+
+double population_stddev(std::span<const double> xs) noexcept {
+    return std::sqrt(population_variance(xs));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+    NATSCALE_EXPECTS(count >= 2);
+    NATSCALE_EXPECTS(lo <= hi);
+    std::vector<double> out(count);
+    const double step = (hi - lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i) out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;  // exact endpoint despite rounding
+    return out;
+}
+
+std::vector<double> geomspace(double lo, double hi, std::size_t count) {
+    NATSCALE_EXPECTS(count >= 2);
+    NATSCALE_EXPECTS(lo > 0.0 && lo <= hi);
+    std::vector<double> out(count);
+    const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(count - 1));
+    double value = lo;
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = value;
+        value *= ratio;
+    }
+    out.back() = hi;
+    return out;
+}
+
+}  // namespace natscale

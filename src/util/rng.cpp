@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace natscale {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t x) noexcept {
+    std::uint64_t s = x;
+    return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform01() noexcept {
+    // 53 uniform mantissa bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    NATSCALE_EXPECTS(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ULL - (~0ULL % span);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) draw = next_u64();
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+    NATSCALE_EXPECTS(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::bernoulli(double p) {
+    NATSCALE_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+    NATSCALE_EXPECTS(rate > 0.0);
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();  // guard log(0)
+    return -std::log(u) / rate;
+}
+
+std::int64_t Rng::poisson(double mean) {
+    NATSCALE_EXPECTS(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    if (mean < 30.0) {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        const double threshold = std::exp(-mean);
+        std::int64_t k = 0;
+        double product = uniform01();
+        while (product > threshold) {
+            ++k;
+            product *= uniform01();
+        }
+        return k;
+    }
+    // Normal approximation with continuity correction; adequate for the
+    // workload generators where mean counts are large.
+    const double u1 = uniform01();
+    const double u2 = uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1 <= 0.0 ? 1e-300 : u1)) *
+                     std::cos(2.0 * 3.141592653589793 * u2);
+    const double value = mean + std::sqrt(mean) * z + 0.5;
+    return value < 0.0 ? 0 : static_cast<std::int64_t>(value);
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+    NATSCALE_EXPECTS(!weights.empty());
+    const std::size_t n = weights.size();
+    double total = 0.0;
+    for (double w : weights) {
+        NATSCALE_EXPECTS(std::isfinite(w) && w >= 0.0);
+        total += w;
+    }
+    NATSCALE_EXPECTS(total > 0.0);
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        small.pop_back();
+        const std::uint32_t l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::uint32_t i : large) prob_[i] = 1.0;
+    for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const {
+    NATSCALE_EXPECTS(!prob_.empty());
+    const std::size_t bucket = rng.uniform_index(prob_.size());
+    return rng.uniform01() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace natscale

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All synthetic workloads in the benchmark harness are generated from an
+// explicit 64-bit seed so that every figure of the paper can be regenerated
+// bit-for-bit.  The generator is xoshiro256** (Blackman & Vigna), seeded via
+// splitmix64, which is both fast and of high statistical quality; we do not
+// use std::mt19937 because its seeding is error-prone and its state is large.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a single value (one splitmix64 round).
+std::uint64_t hash64(std::uint64_t x) noexcept;
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from `seed` via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    /// Raw 64 uniform bits.
+    std::uint64_t next_u64() noexcept;
+
+    /// UniformRandomBitGenerator interface (usable with <algorithm>).
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+    result_type operator()() noexcept { return next_u64(); }
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+
+    /// Uniform integer in the inclusive range [lo, hi].  Precondition: lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform index in [0, n).  Precondition: n > 0.
+    std::size_t uniform_index(std::size_t n);
+
+    /// Bernoulli trial with success probability p in [0, 1].
+    bool bernoulli(double p);
+
+    /// Exponentially distributed value with the given rate (mean 1/rate).
+    /// Precondition: rate > 0.
+    double exponential(double rate);
+
+    /// Poisson-distributed count with the given mean >= 0.  Uses Knuth's
+    /// method for small means and a normal approximation for large ones.
+    std::int64_t poisson(double mean);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            using std::swap;
+            swap(v[i - 1], v[uniform_index(i)]);
+        }
+    }
+
+private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/// O(1) sampling from a fixed discrete distribution (Walker's alias method).
+///
+/// Built once from a vector of non-negative weights; `sample(rng)` then
+/// returns index i with probability weight[i] / sum(weights).
+class WeightedSampler {
+public:
+    WeightedSampler() = default;
+
+    /// Precondition: weights non-empty, all finite and >= 0, sum > 0.
+    explicit WeightedSampler(const std::vector<double>& weights);
+
+    std::size_t sample(Rng& rng) const;
+
+    std::size_t size() const noexcept { return prob_.size(); }
+    bool empty() const noexcept { return prob_.empty(); }
+
+private:
+    std::vector<double> prob_;       // acceptance probability per bucket
+    std::vector<std::uint32_t> alias_;  // alternative outcome per bucket
+};
+
+}  // namespace natscale

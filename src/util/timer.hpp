@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for reporting experiment runtimes.
+#pragma once
+
+#include <chrono>
+
+namespace natscale {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Seconds elapsed since construction or the last reset().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    void reset() { start_ = clock::now(); }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace natscale

@@ -1,0 +1,95 @@
+// Tests for the Fig. 2 classical-property sweep.
+#include <gtest/gtest.h>
+
+#include "core/classical_properties.hpp"
+#include "gen/uniform_stream.hpp"
+#include "linkstream/aggregation.hpp"
+
+namespace natscale {
+namespace {
+
+TEST(Classical, HandComputedSnapshotMeans) {
+    // Window 1: edges {0-1, 1-2}; window 3: edge {2-3}.  n = 4, T = 30,
+    // delta = 10 -> K = 3, two non-empty snapshots.
+    LinkStream stream({{0, 1, 0}, {1, 2, 5}, {2, 3, 25}}, 4, 30);
+    const auto point = classical_properties(stream, 10, /*with_distances=*/true);
+
+    // Densities: 2/6 and 1/6 over non-empty snapshots.
+    EXPECT_DOUBLE_EQ(point.mean_density_nonempty, (2.0 / 6.0 + 1.0 / 6.0) / 2.0);
+    EXPECT_DOUBLE_EQ(point.mean_density_all, (2.0 / 6.0 + 1.0 / 6.0) / 3.0);
+    // Non-isolated: 3 nodes then 2 nodes.
+    EXPECT_DOUBLE_EQ(point.mean_non_isolated, 2.5);
+    // LCC: the 0-1-2 path (3 nodes), then the 2-3 edge (2 nodes).
+    EXPECT_DOUBLE_EQ(point.mean_largest_cc, 2.5);
+    // Mean degree: 2*2/4 and 2*1/4.
+    EXPECT_DOUBLE_EQ(point.mean_degree_nonempty, 0.75);
+    EXPECT_GT(point.mean_dtime_windows, 0.0);
+    EXPECT_GT(point.mean_dhops, 0.0);
+    EXPECT_DOUBLE_EQ(point.mean_dabstime_ticks, 10.0 * point.mean_dtime_windows);
+}
+
+TEST(Classical, FullAggregationReachesStaticGraphValues) {
+    // At Delta = T the series is one snapshot: density equals the density of
+    // the totally aggregated graph, d_hops = 1, d_time = 1 window.
+    UniformStreamSpec spec;
+    spec.num_nodes = 12;
+    spec.links_per_pair = 2;
+    spec.period_end = 1'000;
+    const auto stream = generate_uniform_stream(spec, 3);
+    const auto point = classical_properties(stream, spec.period_end, true);
+    EXPECT_DOUBLE_EQ(point.mean_density_nonempty, 1.0);  // all pairs linked
+    EXPECT_DOUBLE_EQ(point.mean_largest_cc, 12.0);
+    EXPECT_DOUBLE_EQ(point.mean_non_isolated, 12.0);
+    EXPECT_DOUBLE_EQ(point.mean_dhops, 1.0);
+    EXPECT_DOUBLE_EQ(point.mean_dtime_windows, 1.0);
+    EXPECT_DOUBLE_EQ(point.finite_pairs_fraction, 1.0);
+}
+
+TEST(Classical, DensityGrowsMonotonicallyWithDelta) {
+    // Coarser aggregation merges events: per-snapshot density cannot shrink
+    // on a uniform stream (statistically; exact monotonicity of the mean
+    // over non-empty windows holds for nested windows).
+    UniformStreamSpec spec;
+    spec.num_nodes = 10;
+    spec.links_per_pair = 6;
+    spec.period_end = 10'000;
+    const auto stream = generate_uniform_stream(spec, 9);
+    const auto curve = classical_curve(stream, {1, 10, 100, 1'000, 10'000}, false);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].mean_density_nonempty, curve[i - 1].mean_density_nonempty);
+        EXPECT_GE(curve[i].mean_largest_cc, curve[i - 1].mean_largest_cc);
+    }
+}
+
+TEST(Classical, DistancesDriftMonotonically) {
+    // Fig. 2 bottom-right: d_abstime grows with Delta while d_hops shrinks.
+    UniformStreamSpec spec;
+    spec.num_nodes = 10;
+    spec.links_per_pair = 6;
+    spec.period_end = 10'000;
+    const auto stream = generate_uniform_stream(spec, 13);
+    const auto curve = classical_curve(stream, {10, 100, 1'000, 10'000}, true);
+    EXPECT_GT(curve.front().mean_dhops, curve.back().mean_dhops);
+    EXPECT_LT(curve.front().mean_dabstime_ticks, curve.back().mean_dabstime_ticks);
+    EXPECT_DOUBLE_EQ(curve.back().mean_dhops, 1.0);
+}
+
+TEST(Classical, WithoutDistancesLeavesThemZero) {
+    LinkStream stream({{0, 1, 0}}, 2, 10);
+    const auto point = classical_properties(stream, 5, false);
+    EXPECT_DOUBLE_EQ(point.mean_dtime_windows, 0.0);
+    EXPECT_DOUBLE_EQ(point.mean_dhops, 0.0);
+    EXPECT_GT(point.mean_density_nonempty, 0.0);
+}
+
+TEST(Classical, CurveKeepsRequestedDeltas) {
+    LinkStream stream({{0, 1, 0}, {1, 2, 50}}, 3, 100);
+    const auto curve = classical_curve(stream, {1, 10, 100}, false);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_EQ(curve[0].delta, 1);
+    EXPECT_EQ(curve[1].delta, 10);
+    EXPECT_EQ(curve[2].delta, 100);
+}
+
+}  // namespace
+}  // namespace natscale

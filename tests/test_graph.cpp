@@ -1,0 +1,181 @@
+// Unit tests for src/graph: CSR graphs, connected components, metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/connected_components.hpp"
+#include "graph/metrics.hpp"
+#include "graph/static_graph.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+StaticGraph triangle_plus_isolated() {
+    // 0-1, 1-2, 0-2 triangle; node 3 isolated.
+    const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+    return StaticGraph(4, edges, /*directed=*/false);
+}
+
+TEST(StaticGraph, BasicProperties) {
+    const auto g = triangle_plus_isolated();
+    EXPECT_EQ(g.num_nodes(), 4u);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_FALSE(g.directed());
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(StaticGraph, NeighborsSortedBothDirections) {
+    const auto g = triangle_plus_isolated();
+    const auto n1 = g.neighbors(1);
+    ASSERT_EQ(n1.size(), 2u);
+    EXPECT_EQ(n1[0], 0u);
+    EXPECT_EQ(n1[1], 2u);
+    EXPECT_TRUE(std::is_sorted(n1.begin(), n1.end()));
+}
+
+TEST(StaticGraph, DuplicateAndReversedEdgesCollapse) {
+    const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+    const StaticGraph g(2, edges, /*directed=*/false);
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(StaticGraph, DirectedKeepsOrientation) {
+    const std::vector<Edge> edges{{0, 1}, {1, 0}, {2, 1}};
+    const StaticGraph g(3, edges, /*directed=*/true);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(2, 1));
+    EXPECT_FALSE(g.has_edge(1, 2));
+    EXPECT_EQ(g.degree(1), 1u);  // out-degree
+}
+
+TEST(StaticGraph, RejectsSelfLoopsAndOutOfRange) {
+    const std::vector<Edge> loop{{0, 0}};
+    EXPECT_THROW(StaticGraph(2, loop, false), contract_error);
+    const std::vector<Edge> range{{0, 5}};
+    EXPECT_THROW(StaticGraph(2, range, false), contract_error);
+}
+
+TEST(StaticGraph, EmptyGraph) {
+    const StaticGraph g(3);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_EQ(g.degree(2), 0u);
+    EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(ConnectedComponents, TriangleAndIsolated) {
+    const auto g = triangle_plus_isolated();
+    auto sizes = component_sizes(g);
+    std::sort(sizes.begin(), sizes.end());
+    ASSERT_EQ(sizes.size(), 2u);
+    EXPECT_EQ(sizes[0], 1u);
+    EXPECT_EQ(sizes[1], 3u);
+    EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(ConnectedComponents, EmptyGraphAllSingletons) {
+    const StaticGraph g(5);
+    EXPECT_EQ(component_sizes(g).size(), 5u);
+    EXPECT_EQ(largest_component_size(g), 1u);
+}
+
+TEST(ConnectedComponents, DirectedUsesWeakConnectivity) {
+    const std::vector<Edge> edges{{0, 1}, {2, 1}};
+    const StaticGraph g(3, edges, /*directed=*/true);
+    EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(EpochUnionFind, ResetForgetsUnions) {
+    EpochUnionFind uf(4);
+    uf.unite(0, 1);
+    uf.unite(1, 2);
+    EXPECT_EQ(uf.component_size(0), 3u);
+    uf.reset();
+    EXPECT_EQ(uf.component_size(0), 1u);
+    EXPECT_NE(uf.find(0), uf.find(1));
+}
+
+TEST(EpochUnionFind, UniteReportsNovelty) {
+    EpochUnionFind uf(3);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_TRUE(uf.unite(1, 2));
+}
+
+TEST(SummarizeComponents, MatchesStaticGraphPath) {
+    Rng rng(99);
+    EpochUnionFind uf(30);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<Edge> edges;
+        const int m = static_cast<int>(rng.uniform_int(0, 40));
+        for (int i = 0; i < m; ++i) {
+            const NodeId u = static_cast<NodeId>(rng.uniform_index(30));
+            NodeId v = static_cast<NodeId>(rng.uniform_index(30));
+            if (u == v) v = (v + 1) % 30;
+            edges.emplace_back(u, v);
+        }
+        const ComponentSummary summary = summarize_components(edges, uf);
+
+        // Reference: canonical StaticGraph computation.
+        std::vector<Edge> canonical;
+        for (auto [u, v] : edges) canonical.emplace_back(std::min(u, v), std::max(u, v));
+        const StaticGraph g(30, canonical, false);
+        const auto sizes = component_sizes(g);
+        std::uint32_t expect_largest = 0;
+        std::uint32_t expect_non_isolated = 0;
+        for (NodeId u = 0; u < 30; ++u) {
+            if (g.degree(u) > 0) ++expect_non_isolated;
+        }
+        for (std::uint32_t s : sizes) {
+            if (s > 1) expect_largest = std::max(expect_largest, s);
+        }
+        if (edges.empty()) {
+            EXPECT_EQ(summary.largest_component, 0u);
+        } else {
+            EXPECT_EQ(summary.largest_component, expect_largest) << "trial " << trial;
+        }
+        EXPECT_EQ(summary.non_isolated_nodes, expect_non_isolated) << "trial " << trial;
+    }
+}
+
+TEST(Metrics, DensityUndirected) {
+    const auto g = triangle_plus_isolated();
+    EXPECT_DOUBLE_EQ(density(g), 3.0 / 6.0);  // 3 edges / C(4,2)
+}
+
+TEST(Metrics, DensityDirected) {
+    const std::vector<Edge> edges{{0, 1}, {1, 0}};
+    const StaticGraph g(3, edges, true);
+    EXPECT_DOUBLE_EQ(density(g), 2.0 / 6.0);
+}
+
+TEST(Metrics, DensityFromCountsMatches) {
+    const auto g = triangle_plus_isolated();
+    EXPECT_DOUBLE_EQ(density(g), density(g.num_edges(), g.num_nodes(), g.directed()));
+}
+
+TEST(Metrics, DensityOfTinyGraphIsZero) {
+    EXPECT_DOUBLE_EQ(density(0, 1, false), 0.0);
+    EXPECT_DOUBLE_EQ(density(0, 0, false), 0.0);
+}
+
+TEST(Metrics, MeanDegree) {
+    const auto g = triangle_plus_isolated();
+    EXPECT_DOUBLE_EQ(mean_degree(g), 2.0 * 3.0 / 4.0);
+}
+
+TEST(Metrics, NonIsolatedCountsBothDirections) {
+    const std::vector<Edge> edges{{0, 1}};
+    const StaticGraph gd(3, edges, true);
+    EXPECT_EQ(num_non_isolated(gd), 2u);  // 1 has only an in-edge
+    const auto gu = triangle_plus_isolated();
+    EXPECT_EQ(num_non_isolated(gu), 3u);
+}
+
+}  // namespace
+}  // namespace natscale

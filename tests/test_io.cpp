@@ -1,0 +1,125 @@
+// Unit tests for link-stream file I/O, including failure injection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "linkstream/io.hpp"
+
+namespace natscale {
+namespace {
+
+TEST(ParseLinkStream, BasicTriples) {
+    const auto loaded = parse_link_stream("0 1 10\n1 2 20\n");
+    EXPECT_EQ(loaded.stream.num_events(), 2u);
+    EXPECT_EQ(loaded.stream.num_nodes(), 3u);
+    EXPECT_EQ(loaded.stream.period_end(), 21);
+    EXPECT_EQ(loaded.node_labels.size(), 3u);
+}
+
+TEST(ParseLinkStream, CommentsAndBlanksSkipped) {
+    const auto loaded = parse_link_stream("# header\n\n% konect-style\n0 1 5\n");
+    EXPECT_EQ(loaded.stream.num_events(), 1u);
+}
+
+TEST(ParseLinkStream, AcceptsTabsAndCommas) {
+    const auto loaded = parse_link_stream("0\t1\t5\n2,3,9\n");
+    EXPECT_EQ(loaded.stream.num_events(), 2u);
+    EXPECT_EQ(loaded.stream.num_nodes(), 4u);
+}
+
+TEST(ParseLinkStream, StringLabelsRelabelled) {
+    const auto loaded = parse_link_stream("alice bob 3\nbob carol 7\n");
+    EXPECT_EQ(loaded.stream.num_nodes(), 3u);
+    ASSERT_EQ(loaded.node_labels.size(), 3u);
+    EXPECT_EQ(loaded.node_labels[0], "alice");
+    EXPECT_EQ(loaded.node_labels[1], "bob");
+    EXPECT_EQ(loaded.node_labels[2], "carol");
+}
+
+TEST(ParseLinkStream, FourthColumnIgnored) {
+    const auto loaded = parse_link_stream("0 1 5 0.75\n");
+    EXPECT_EQ(loaded.stream.num_events(), 1u);
+}
+
+TEST(ParseLinkStream, TimeScaleConvertsFractions) {
+    LoadOptions options;
+    options.time_scale = 1000.0;
+    const auto loaded = parse_link_stream("0 1 1.5\n", options);
+    EXPECT_EQ(loaded.stream.events()[0].t, 1500);
+}
+
+TEST(ParseLinkStream, DirectedFlagHonoured) {
+    LoadOptions options;
+    options.directed = true;
+    const auto loaded = parse_link_stream("b a 1\n", options);
+    EXPECT_TRUE(loaded.stream.directed());
+    EXPECT_EQ(loaded.node_labels[loaded.stream.events()[0].u], "b");
+}
+
+TEST(ParseLinkStream, SelfLoopsSkippedByDefault) {
+    const auto loaded = parse_link_stream("0 0 1\n0 1 2\n");
+    EXPECT_EQ(loaded.stream.num_events(), 1u);
+}
+
+TEST(ParseLinkStream, SelfLoopsRejectedWhenAsked) {
+    LoadOptions options;
+    options.skip_self_loops = false;
+    EXPECT_THROW(parse_link_stream("0 0 1\n", options), io_error);
+}
+
+TEST(ParseLinkStream, MissingColumnFailsWithLineNumber) {
+    try {
+        parse_link_stream("0 1 5\n0 1\n");
+        FAIL() << "expected io_error";
+    } catch (const io_error& e) {
+        EXPECT_EQ(e.line_number, 2u);
+        EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+    }
+}
+
+TEST(ParseLinkStream, BadTimestampFails) {
+    EXPECT_THROW(parse_link_stream("0 1 notatime\n"), io_error);
+    EXPECT_THROW(parse_link_stream("0 1 -5\n"), io_error);
+    EXPECT_THROW(parse_link_stream("0 1 12x\n"), io_error);
+}
+
+TEST(ParseLinkStream, EmptyInputFails) {
+    EXPECT_THROW(parse_link_stream(""), std::runtime_error);
+    EXPECT_THROW(parse_link_stream("# only comments\n"), std::runtime_error);
+}
+
+TEST(LoadLinkStream, MissingFileFails) {
+    EXPECT_THROW(load_link_stream("/nonexistent/natscale.txt"), std::runtime_error);
+}
+
+TEST(SaveLoadRoundtrip, PreservesEvents) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto path = (dir / "natscale_io_roundtrip.txt").string();
+
+    const auto original = parse_link_stream("3 9 100\n9 4 50\n3 4 75\n");
+    save_link_stream(path, original.stream, original.node_labels);
+    const auto reloaded = load_link_stream(path);
+
+    EXPECT_EQ(reloaded.stream.num_events(), original.stream.num_events());
+    EXPECT_EQ(reloaded.stream.num_nodes(), original.stream.num_nodes());
+    // Events compare equal after both sides' canonical sort.
+    for (std::size_t i = 0; i < original.stream.num_events(); ++i) {
+        EXPECT_EQ(reloaded.stream.events()[i].t, original.stream.events()[i].t);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(SaveLoadRoundtrip, DenseIdsWhenNoLabels) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto path = (dir / "natscale_io_dense.txt").string();
+    LinkStream stream({{0, 1, 5}}, 2, 10);
+    save_link_stream(path, stream);
+    const auto reloaded = load_link_stream(path);
+    EXPECT_EQ(reloaded.stream.num_events(), 1u);
+    EXPECT_EQ(reloaded.node_labels[0], "0");
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace natscale

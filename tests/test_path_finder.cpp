@@ -1,0 +1,120 @@
+// Tests for temporal-path witness extraction.
+#include <gtest/gtest.h>
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/path_finder.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+TEST(PathFinder, SimpleChainWitness) {
+    LinkStream stream({{0, 1, 0}, {1, 2, 10}}, 3, 20);
+    const auto series = aggregate(stream, 10);
+    const auto path = find_temporal_path(series, 0, 2);
+    ASSERT_TRUE(path.has_value());
+    ASSERT_EQ(path->size(), 2u);
+    EXPECT_TRUE(is_temporal_path(series, *path));
+    EXPECT_EQ((*path)[0].u, 0u);
+    EXPECT_EQ((*path)[1].v, 2u);
+    EXPECT_EQ((*path)[0].t, 1);
+    EXPECT_EQ((*path)[1].t, 2);
+}
+
+TEST(PathFinder, UnreachableReturnsNullopt) {
+    LinkStream stream({{0, 1, 10}, {1, 2, 0}}, 3, 20);  // wrong order for 0->2
+    const auto series = aggregate(stream, 10);
+    EXPECT_FALSE(find_temporal_path(series, 0, 2).has_value());
+}
+
+TEST(PathFinder, RespectsDeparture) {
+    LinkStream stream({{0, 1, 0}, {0, 1, 25}}, 2, 30);
+    const auto series = aggregate(stream, 10);
+    const auto late = find_temporal_path(series, 0, 1, /*departure=*/2);
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ((*late)[0].t, 3);  // must use the window-3 link
+}
+
+TEST(PathFinder, SameNodeIsEmptyPath) {
+    LinkStream stream({{0, 1, 0}}, 2, 10);
+    const auto series = aggregate(stream, 10);
+    const auto path = find_temporal_path(series, 1, 1);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(path->empty());
+}
+
+TEST(PathFinder, MinHopsThroughLaterIntermediate) {
+    // Min-hop routing must consider intermediates reached at non-earliest
+    // arrivals: x is reachable at w2 (1 hop) and the path 0->x->3 with the
+    // w4 edge has 2 hops, while the earliest-arrival-only route would have
+    // more.  Construction:
+    //   0-a@1, a-b@2, b-3@4   (3 hops, arrival 4)
+    //   0-x@3, x-3@4          (2 hops, arrival 4)
+    constexpr NodeId a = 1, b = 2, x = 4;
+    LinkStream stream({{0, a, 0}, {a, b, 10}, {b, 3, 30}, {0, x, 20}, {x, 3, 30}}, 5, 40);
+    const auto series = aggregate(stream, 10);
+    const auto path = find_temporal_path(series, 0, 3);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->size(), 2u);
+    EXPECT_TRUE(is_temporal_path(series, *path));
+}
+
+TEST(PathFinder, DirectedOrientation) {
+    LinkStream stream({{0, 1, 0}, {1, 2, 10}}, 3, 20, /*directed=*/true);
+    const auto series = aggregate(stream, 10);
+    EXPECT_TRUE(find_temporal_path(series, 0, 2).has_value());
+    EXPECT_FALSE(find_temporal_path(series, 2, 0).has_value());
+}
+
+TEST(PathFinder, ValidatesArguments) {
+    LinkStream stream({{0, 1, 0}}, 2, 10);
+    const auto series = aggregate(stream, 10);
+    EXPECT_THROW(find_temporal_path(series, 0, 5), contract_error);
+    EXPECT_THROW(find_temporal_path(series, 0, 1, 0), contract_error);
+}
+
+class PathFinderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathFinderProperty, WitnessMatchesEngineArrivalAndHops) {
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed * 131 + 7);
+    const NodeId n = static_cast<NodeId>(4 + rng.uniform_index(10));
+    const int events = static_cast<int>(10 + rng.uniform_index(60));
+    const Time period = static_cast<Time>(10 + rng.uniform_index(60));
+    const bool directed = rng.bernoulli(0.5);
+    std::vector<Event> list;
+    for (int i = 0; i < events; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        list.push_back({u, v, rng.uniform_int(0, period - 1)});
+    }
+    LinkStream stream(std::move(list), n, period, directed);
+    const auto series = aggregate(stream, static_cast<Time>(1 + rng.uniform_index(5)));
+
+    TemporalReachability engine;
+    engine.scan_series(series, [](const MinimalTrip&) {});
+
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (u == v) continue;
+            const auto path = find_temporal_path(series, u, v);
+            if (engine.arrival(u, v) == kInfiniteTime) {
+                EXPECT_FALSE(path.has_value()) << "seed=" << seed;
+                continue;
+            }
+            ASSERT_TRUE(path.has_value()) << "seed=" << seed;
+            EXPECT_TRUE(is_temporal_path(series, *path)) << "seed=" << seed;
+            EXPECT_EQ(path->back().t, engine.arrival(u, v)) << "seed=" << seed;
+            EXPECT_EQ(path_hops(*path), engine.hop_count(u, v)) << "seed=" << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PathFinderProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace natscale

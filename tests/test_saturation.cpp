@@ -1,0 +1,229 @@
+// Tests of the occupancy method's saturation-scale search (Sections 4, 6, 7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/delta_grid.hpp"
+#include "core/saturation.hpp"
+#include "gen/uniform_stream.hpp"
+#include "util/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+namespace {
+
+TEST(DeltaGrid, GeometricCoversRangeDistinct) {
+    const auto grid = geometric_delta_grid(1, 100'000, 30);
+    ASSERT_GE(grid.size(), 10u);
+    EXPECT_EQ(grid.front(), 1);
+    EXPECT_EQ(grid.back(), 100'000);
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+    EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+}
+
+TEST(DeltaGrid, GeometricCollapsesSmallRanges) {
+    const auto grid = geometric_delta_grid(1, 5, 30);
+    EXPECT_LE(grid.size(), 5u);  // only 5 distinct integers exist
+    EXPECT_EQ(grid.front(), 1);
+    EXPECT_EQ(grid.back(), 5);
+}
+
+TEST(DeltaGrid, LinearSpacing) {
+    const auto grid = linear_delta_grid(10, 20, 11);
+    ASSERT_EQ(grid.size(), 11u);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(grid[i], 10 + static_cast<Time>(i));
+    }
+}
+
+TEST(DeltaGrid, MergeDeduplicates) {
+    const auto merged = merge_delta_grids({1, 5, 9}, {3, 5, 12});
+    const std::vector<Time> expected{1, 3, 5, 9, 12};
+    EXPECT_EQ(merged, expected);
+}
+
+TEST(DeltaGrid, SingletonRange) {
+    EXPECT_EQ(geometric_delta_grid(7, 7, 10), std::vector<Time>{7});
+}
+
+TEST(DeltaGrid, RejectsBadArguments) {
+    EXPECT_THROW(geometric_delta_grid(0, 10, 5), contract_error);
+    EXPECT_THROW(geometric_delta_grid(10, 5, 5), contract_error);
+    EXPECT_THROW(linear_delta_grid(1, 10, 1), contract_error);
+}
+
+SaturationOptions quick_options() {
+    SaturationOptions options;
+    options.coarse_points = 24;
+    options.refine_rounds = 1;
+    options.refine_points = 6;
+    options.histogram_bins = 400;
+    return options;
+}
+
+TEST(Saturation, FindsInteriorMaximumOnUniformStream) {
+    UniformStreamSpec spec;
+    spec.num_nodes = 20;
+    spec.links_per_pair = 10;
+    spec.period_end = 20'000;
+    const auto stream = generate_uniform_stream(spec, /*seed=*/7);
+    const auto result = find_saturation_scale(stream, quick_options());
+
+    EXPECT_GT(result.gamma, 1);
+    EXPECT_LT(result.gamma, spec.period_end);
+    // Curve sorted, covering the full range.
+    EXPECT_TRUE(std::is_sorted(result.curve.begin(), result.curve.end(),
+                               [](const DeltaPoint& a, const DeltaPoint& b) {
+                                   return a.delta < b.delta;
+                               }));
+    EXPECT_EQ(result.curve.front().delta, 1);
+    EXPECT_EQ(result.curve.back().delta, spec.period_end);
+    // gamma realizes the maximum of the selected metric over the curve.
+    for (const auto& point : result.curve) {
+        EXPECT_LE(score_of(point.scores, result.metric),
+                  score_of(result.at_gamma.scores, result.metric) + 1e-12);
+    }
+    EXPECT_EQ(result.gamma, result.at_gamma.delta);
+    EXPECT_EQ(result.gamma_histogram.total(), result.at_gamma.num_trips);
+}
+
+TEST(Saturation, GammaScalesWithIntercontactTime) {
+    // Fig. 6 left: for time-uniform networks gamma is proportional to the
+    // mean inter-contact time; doubling it should roughly double gamma.
+    UniformStreamSpec sparse;
+    sparse.num_nodes = 16;
+    sparse.links_per_pair = 5;
+    sparse.period_end = 30'000;
+
+    UniformStreamSpec dense = sparse;
+    dense.links_per_pair = 20;  // 4x the activity -> gamma ~4x smaller
+
+    const auto gamma_sparse =
+        find_saturation_scale(generate_uniform_stream(sparse, 11), quick_options()).gamma;
+    const auto gamma_dense =
+        find_saturation_scale(generate_uniform_stream(dense, 11), quick_options()).gamma;
+
+    EXPECT_GT(gamma_sparse, gamma_dense);
+    const double ratio = static_cast<double>(gamma_sparse) / static_cast<double>(gamma_dense);
+    EXPECT_GT(ratio, 2.0);  // ideal 4.0; generous tolerance for grid noise
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Saturation, MetricCurveRisesThenFalls) {
+    UniformStreamSpec spec;
+    spec.num_nodes = 16;
+    spec.links_per_pair = 8;
+    spec.period_end = 20'000;
+    const auto result =
+        find_saturation_scale(generate_uniform_stream(spec, 3), quick_options());
+    const double at_ends = std::max(score_of(result.curve.front().scores, result.metric),
+                                    score_of(result.curve.back().scores, result.metric));
+    EXPECT_GT(score_of(result.at_gamma.scores, result.metric), at_ends);
+}
+
+/// A stream in the regime of the paper's traces: many more node pairs than
+/// directly-linked pairs, so minimal trips are dominated by the indirect
+/// (multi-hop) pairs.  In this regime the paper observes that all metrics
+/// except the variation coefficient select nearly the same gamma (Section 7).
+LinkStream paper_like_stream(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (int i = 0; i < 300; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(100));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(100));
+        if (u == v) v = (v + 1) % 100;
+        pairs.emplace_back(u, v);
+    }
+    std::vector<Event> events;
+    for (int i = 0; i < 1'500; ++i) {
+        const auto& [u, v] = pairs[rng.uniform_index(pairs.size())];
+        events.push_back({u, v, rng.uniform_int(0, 49'999)});
+    }
+    return LinkStream(std::move(events), 100, 50'000, false);
+}
+
+TEST(Saturation, GammaForEachMetricInsideRange) {
+    const auto stream = paper_like_stream(5);
+    const auto result = find_saturation_scale(stream, quick_options());
+    for (UniformityMetric metric :
+         {UniformityMetric::mk_proximity, UniformityMetric::std_deviation,
+          UniformityMetric::shannon_entropy, UniformityMetric::cre}) {
+        const Time gamma = result.gamma_for(metric);
+        EXPECT_GE(gamma, 1);
+        EXPECT_LE(gamma, stream.period_end());
+    }
+    // Section 7: the non-CV metrics agree on the order of magnitude.
+    const Time mk = result.gamma_for(UniformityMetric::mk_proximity);
+    const Time sd = result.gamma_for(UniformityMetric::std_deviation);
+    const Time sh = result.gamma_for(UniformityMetric::shannon_entropy);
+    const Time cre = result.gamma_for(UniformityMetric::cre);
+    EXPECT_LT(std::max({mk, sd, sh, cre}), 10 * std::min({mk, sd, sh, cre}));
+}
+
+TEST(Saturation, VariationCoefficientPrefersTinyDeltas) {
+    // Section 7: the CV metric is unsuitable — it selects (near-)minimal
+    // aggregation periods.
+    const auto result = find_saturation_scale(paper_like_stream(5), quick_options());
+    EXPECT_LT(100 * result.gamma_for(UniformityMetric::variation_coefficient),
+              result.gamma_for(UniformityMetric::mk_proximity));
+}
+
+TEST(Saturation, ExplicitRangeHonoured) {
+    UniformStreamSpec spec;
+    spec.num_nodes = 10;
+    spec.links_per_pair = 5;
+    spec.period_end = 5'000;
+    auto options = quick_options();
+    options.min_delta = 10;
+    options.max_delta = 1'000;
+    const auto result = find_saturation_scale(generate_uniform_stream(spec, 1), options);
+    EXPECT_GE(result.curve.front().delta, 10);
+    EXPECT_LE(result.curve.back().delta, 1'000);
+}
+
+TEST(Saturation, RefinementOnlyAddsPoints) {
+    UniformStreamSpec spec;
+    spec.num_nodes = 10;
+    spec.links_per_pair = 5;
+    spec.period_end = 5'000;
+    const auto stream = generate_uniform_stream(spec, 2);
+    auto coarse_only = quick_options();
+    coarse_only.refine_rounds = 0;
+    auto refined = quick_options();
+    refined.refine_rounds = 2;
+    const auto a = find_saturation_scale(stream, coarse_only);
+    const auto b = find_saturation_scale(stream, refined);
+    EXPECT_GE(b.curve.size(), a.curve.size());
+    EXPECT_GE(score_of(b.at_gamma.scores, b.metric), score_of(a.at_gamma.scores, a.metric));
+}
+
+TEST(Saturation, RejectsEmptyStreamAndBadOptions) {
+    LinkStream empty({}, 3, 100);
+    EXPECT_THROW(find_saturation_scale(empty, quick_options()), contract_error);
+
+    UniformStreamSpec spec;
+    spec.num_nodes = 5;
+    spec.links_per_pair = 2;
+    spec.period_end = 100;
+    const auto stream = generate_uniform_stream(spec, 1);
+    SaturationOptions bad;
+    bad.coarse_points = 1;
+    EXPECT_THROW(find_saturation_scale(stream, bad), contract_error);
+    SaturationOptions bad_range;
+    bad_range.min_delta = 50;
+    bad_range.max_delta = 10;
+    EXPECT_THROW(find_saturation_scale(stream, bad_range), contract_error);
+}
+
+TEST(Saturation, SingleEventStream) {
+    // Degenerate input: one link.  Every aggregation gives exactly one
+    // 1-hop trip with occupancy 1; the method still returns a gamma.
+    LinkStream stream({{0, 1, 50}}, 2, 100);
+    const auto result = find_saturation_scale(stream, quick_options());
+    EXPECT_GE(result.gamma, 1);
+    EXPECT_EQ(result.at_gamma.num_trips, 2u);  // both directions
+    EXPECT_DOUBLE_EQ(result.at_gamma.occupancy_mean, 1.0);
+}
+
+}  // namespace
+}  // namespace natscale

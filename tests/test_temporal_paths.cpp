@@ -1,0 +1,121 @@
+// Tests of the temporal-path definitions (Definitions 2-4, Remarks 1-2),
+// including the paper's Figure 1 example encoded literally.
+#include <gtest/gtest.h>
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/temporal_path.hpp"
+
+namespace natscale {
+namespace {
+
+// ---- The Figure 1 universe -------------------------------------------------
+// Nodes a..e; three aggregation windows of length 10.  The dark-blue path
+// e -> c -> b spans windows 1 and 2 and survives aggregation; the light-pink
+// path d -> c -> b lies inside window 3 and is destroyed by it (it would
+// need two links of G3, which Remark 1 forbids).
+constexpr NodeId a = 0, b = 1, c = 2, d = 3, e = 4;
+
+LinkStream figure1_stream() {
+    return LinkStream({{e, c, 3}, {c, b, 14}, {a, d, 8}, {d, c, 21}, {c, b, 25}},
+                      5, 30, /*directed=*/false);
+}
+
+TEST(Figure1, DarkBluePathExistsInStream) {
+    const auto stream = figure1_stream();
+    const std::vector<TemporalHop> path{{e, c, 3}, {c, b, 14}};
+    EXPECT_TRUE(is_temporal_path(stream, path));
+    EXPECT_EQ(path_hops(path), 2);
+    EXPECT_EQ(path_time_stream(path), 11);
+}
+
+TEST(Figure1, DarkBluePathExistsInSeries) {
+    const auto series = aggregate(figure1_stream(), 10);
+    const std::vector<TemporalHop> path{{e, c, 1}, {c, b, 2}};
+    EXPECT_TRUE(is_temporal_path(series, path));
+    EXPECT_EQ(path_time_series(path), 2);  // two windows
+}
+
+TEST(Figure1, LightPinkPathExistsInStream) {
+    const auto stream = figure1_stream();
+    const std::vector<TemporalHop> path{{d, c, 21}, {c, b, 25}};
+    EXPECT_TRUE(is_temporal_path(stream, path));
+}
+
+TEST(Figure1, LightPinkPathDestroyedBySeries) {
+    const auto series = aggregate(figure1_stream(), 10);
+    // Both links are in G3; Remark 1 forbids using two links of the same
+    // snapshot, so this is NOT a temporal path of the series.
+    const std::vector<TemporalHop> path{{d, c, 3}, {c, b, 3}};
+    EXPECT_FALSE(is_temporal_path(series, path));
+}
+
+// ---- Definition checks ------------------------------------------------------
+
+TEST(TemporalPath, EmptyPathIsInvalid) {
+    const auto stream = figure1_stream();
+    EXPECT_FALSE(is_temporal_path(stream, std::vector<TemporalHop>{}));
+}
+
+TEST(TemporalPath, EndpointsMustChain) {
+    const auto stream = figure1_stream();
+    const std::vector<TemporalHop> broken{{e, c, 3}, {d, b, 14}};  // c != d
+    EXPECT_FALSE(is_temporal_path(stream, broken));
+}
+
+TEST(TemporalPath, TimesMustStrictlyIncrease) {
+    LinkStream stream({{0, 1, 5}, {1, 2, 5}}, 3, 10);
+    const std::vector<TemporalHop> simultaneous{{0, 1, 5}, {1, 2, 5}};
+    EXPECT_FALSE(is_temporal_path(stream, simultaneous));  // Remark 1: strict
+}
+
+TEST(TemporalPath, HopsMustExistInStream) {
+    const auto stream = figure1_stream();
+    const std::vector<TemporalHop> phantom{{a, b, 3}};
+    EXPECT_FALSE(is_temporal_path(stream, phantom));
+    const std::vector<TemporalHop> wrong_time{{e, c, 4}};
+    EXPECT_FALSE(is_temporal_path(stream, wrong_time));
+}
+
+TEST(TemporalPath, UndirectedHopsWorkBothWays) {
+    const auto stream = figure1_stream();
+    const std::vector<TemporalHop> reversed{{c, e, 3}};  // stored as (e, c) ... (c, e) ok
+    EXPECT_TRUE(is_temporal_path(stream, reversed));
+}
+
+TEST(TemporalPath, DirectedHopsRespectOrientation) {
+    LinkStream stream({{0, 1, 5}}, 2, 10, /*directed=*/true);
+    const std::vector<TemporalHop> forward{{0, 1, 5}};
+    const std::vector<TemporalHop> backward{{1, 0, 5}};
+    EXPECT_TRUE(is_temporal_path(stream, forward));
+    EXPECT_FALSE(is_temporal_path(stream, backward));
+}
+
+TEST(TemporalPath, SeriesWindowBoundsChecked) {
+    const auto series = aggregate(figure1_stream(), 10);
+    const std::vector<TemporalHop> below{{e, c, 0}};
+    const std::vector<TemporalHop> above{{e, c, 4}};
+    EXPECT_FALSE(is_temporal_path(series, below));
+    EXPECT_FALSE(is_temporal_path(series, above));
+}
+
+TEST(TemporalPath, Remark2HopsBoundedByDurationInSeries) {
+    // Any valid series path has hops <= time (each hop needs its own window).
+    const auto series = aggregate(figure1_stream(), 10);
+    const std::vector<TemporalHop> path{{e, c, 1}, {c, b, 2}};
+    ASSERT_TRUE(is_temporal_path(series, path));
+    EXPECT_LE(path_hops(path), path_time_series(path));
+}
+
+TEST(TemporalPath, StreamDurationCanBeBelowHops) {
+    // In a link stream time(P) = t_l - t_1 can be smaller than hops(P)
+    // (Remark 2 does not hold for streams): 2 hops in 2 ticks of duration...
+    // with 1-tick spacing, duration 2 >= hops 2; with timestamps 0 and 1,
+    // duration 1 < hops 2.
+    LinkStream stream({{0, 1, 0}, {1, 2, 1}}, 3, 10);
+    const std::vector<TemporalHop> path{{0, 1, 0}, {1, 2, 1}};
+    ASSERT_TRUE(is_temporal_path(stream, path));
+    EXPECT_LT(path_time_stream(path), static_cast<Time>(path_hops(path)));
+}
+
+}  // namespace
+}  // namespace natscale

@@ -1,0 +1,111 @@
+// Tests for shortest transitions and the lost-transition measure (Section 8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "temporal/transitions.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+TEST(ShortestTransitions, SimpleChainHasOneTransition) {
+    // 0-1 @ 10, 1-2 @ 25: one shortest transition (0,2) with hops (10, 25)
+    // and its mirror (2,0)?  No: 2 -> 0 needs the 1-2 link before the 0-1
+    // link, which fails.  Undirected: (0,2,10,25) only.
+    LinkStream stream({{0, 1, 10}, {1, 2, 25}}, 3, 50);
+    const ShortestTransitionSet set(stream);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.hop_times()[0].first, 10);
+    EXPECT_EQ(set.hop_times()[0].second, 25);
+}
+
+TEST(ShortestTransitions, LostWhenHopsShareWindow) {
+    LinkStream stream({{0, 1, 10}, {1, 2, 25}}, 3, 50);
+    const ShortestTransitionSet set(stream);
+    EXPECT_DOUBLE_EQ(set.lost_fraction(5), 0.0);   // windows 3 and 6
+    EXPECT_DOUBLE_EQ(set.lost_fraction(16), 0.0);  // windows 1 and 2
+    EXPECT_DOUBLE_EQ(set.lost_fraction(26), 1.0);  // both in window 1
+    EXPECT_DOUBLE_EQ(set.lost_fraction(50), 1.0);  // single window
+}
+
+TEST(ShortestTransitions, EarlierDirectLinkDoesNotSuppressLaterTransition) {
+    // Direct link 0-2 at t=5 gives a one-hop trip [5,5]; the two-hop route
+    // via 1 over [10,25] contains no smaller 0->2 trip, so it stays minimal
+    // and is a shortest transition.  (The stream also holds the transition
+    // 2 ->(5) 0 ->(10) 1 over [5,10].)
+    LinkStream stream({{0, 2, 5}, {0, 1, 10}, {1, 2, 25}}, 3, 50);
+    const ShortestTransitionSet set(stream);
+    const auto& times = set.hop_times();
+    EXPECT_NE(std::find(times.begin(), times.end(), std::make_pair<Time, Time>(10, 25)),
+              times.end());
+    EXPECT_NE(std::find(times.begin(), times.end(), std::make_pair<Time, Time>(5, 10)),
+              times.end());
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ShortestTransitions, DirectLinkInsideIntervalSuppressesTransition) {
+    // Direct 0-2 at t=15 sits inside [10, 25]: the two-hop trip is not
+    // minimal, so no shortest transition is recorded.
+    LinkStream stream({{0, 1, 10}, {0, 2, 15}, {1, 2, 25}}, 3, 50);
+    const ShortestTransitionSet set(stream);
+    for (const auto& [t1, t2] : set.hop_times()) {
+        EXPECT_FALSE(t1 == 10 && t2 == 25);
+    }
+}
+
+TEST(ShortestTransitions, EmptyAndSingleLinkStreams) {
+    LinkStream empty({}, 3, 10);
+    const ShortestTransitionSet none(empty);
+    EXPECT_TRUE(none.empty());
+    EXPECT_DOUBLE_EQ(none.lost_fraction(5), 0.0);
+
+    LinkStream single({{0, 1, 3}}, 2, 10);
+    const ShortestTransitionSet still_none(single);
+    EXPECT_TRUE(still_none.empty());
+}
+
+TEST(ShortestTransitions, LostFractionEndpoints) {
+    // Random stream: at delta = 1 (resolution) transitions with distinct
+    // timestamps survive; at delta = T everything is lost.
+    Rng rng(77);
+    std::vector<Event> events;
+    for (int i = 0; i < 200; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(12));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(12));
+        if (u == v) v = (v + 1) % 12;
+        events.push_back({u, v, rng.uniform_int(0, 999)});
+    }
+    LinkStream stream(std::move(events), 12, 1'000);
+    const ShortestTransitionSet set(stream);
+    ASSERT_GT(set.size(), 0u);
+    EXPECT_DOUBLE_EQ(set.lost_fraction(1), 0.0);  // strict increase => distinct windows
+    EXPECT_DOUBLE_EQ(set.lost_fraction(1'000), 1.0);
+    EXPECT_THROW(set.lost_fraction(0), contract_error);
+}
+
+TEST(ShortestTransitions, LostFractionWeaklyIncreasesOnDoubling) {
+    // Nested windows: if two hops share a window at delta, they share one at
+    // 2*delta only if aligned — not guaranteed in general; but the broad
+    // trend must rise from 0 to 1 across decades.
+    Rng rng(78);
+    std::vector<Event> events;
+    for (int i = 0; i < 300; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(10));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(10));
+        if (u == v) v = (v + 1) % 10;
+        events.push_back({u, v, rng.uniform_int(0, 9'999)});
+    }
+    LinkStream stream(std::move(events), 10, 10'000);
+    const ShortestTransitionSet set(stream);
+    const double at_10 = set.lost_fraction(10);
+    const double at_1000 = set.lost_fraction(1'000);
+    const double at_10000 = set.lost_fraction(10'000);
+    EXPECT_LE(at_10, at_1000);
+    EXPECT_LE(at_1000, at_10000);
+    EXPECT_DOUBLE_EQ(at_10000, 1.0);
+}
+
+}  // namespace
+}  // namespace natscale

@@ -1,0 +1,186 @@
+// Tests of the five uniformity metrics (paper Sections 4 and 7): closed-form
+// values, maximality at the uniform density, and histogram-vs-exact
+// convergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/uniformity.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+EmpiricalDistribution uniform_samples(std::size_t count) {
+    // Deterministic, maximally spread samples: (i + 1/2) / count.
+    std::vector<double> samples(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        samples[i] = (static_cast<double>(i) + 0.5) / static_cast<double>(count);
+    }
+    return EmpiricalDistribution(std::move(samples));
+}
+
+TEST(IntegrateAbsDeviation, ClosedFormPieces) {
+    // c = 1: |1 - (1 - l)| = l over [0,1] -> 1/2.
+    EXPECT_NEAR(integrate_abs_deviation(0.0, 1.0, 1.0), 0.5, 1e-12);
+    // c = 0: |0 - (1 - l)| = 1 - l over [0,1] -> 1/2.
+    EXPECT_NEAR(integrate_abs_deviation(0.0, 1.0, 0.0), 0.5, 1e-12);
+    // c = 1/2 over [0,1]: crossing at 1/2, two triangles of area 1/8.
+    EXPECT_NEAR(integrate_abs_deviation(0.0, 1.0, 0.5), 0.25, 1e-12);
+    // Sub-interval fully left of the crossing: c = 0.5 on [0, 0.25].
+    EXPECT_NEAR(integrate_abs_deviation(0.0, 0.25, 0.5),
+                0.5 * 0.25 - 0.25 * 0.25 / 2.0 + 0.0, 1e-12);
+    EXPECT_THROW(integrate_abs_deviation(0.5, 0.4, 0.5), contract_error);
+}
+
+TEST(MkDistance, PointMassAtOneIsMaximallyFar) {
+    // All occupancy rates equal to 1 (total aggregation): ICD is 1 on [0,1),
+    // area |1 - (1-l)| integrates to 1/2; proximity 0.
+    EmpiricalDistribution dist({1.0, 1.0, 1.0});
+    EXPECT_NEAR(mk_distance_to_uniform(dist), 0.5, 1e-12);
+    EXPECT_NEAR(mk_proximity(dist), 0.0, 1e-12);
+}
+
+TEST(MkDistance, PointMassNearZeroIsAlsoFar) {
+    EmpiricalDistribution dist({1e-9, 1e-9});
+    EXPECT_NEAR(mk_distance_to_uniform(dist), 0.5, 1e-6);
+}
+
+TEST(MkDistance, UniformSamplesApproachZero) {
+    EXPECT_LT(mk_distance_to_uniform(uniform_samples(1000)), 1e-3);
+    EXPECT_GT(mk_proximity(uniform_samples(1000)), 0.499);
+}
+
+TEST(MkDistance, MoreUniformBeatsLessUniform) {
+    // Uniform vs everything piled in the upper half.
+    std::vector<double> upper;
+    for (int i = 0; i < 100; ++i) upper.push_back(0.5 + 0.005 * i);
+    EXPECT_LT(mk_distance_to_uniform(uniform_samples(100)),
+              mk_distance_to_uniform(EmpiricalDistribution(std::move(upper))));
+}
+
+TEST(MkDistance, EmptyDistributionIsFar) {
+    EmpiricalDistribution dist;
+    EXPECT_DOUBLE_EQ(mk_distance_to_uniform(dist), 0.5);
+}
+
+TEST(StdDeviation, UniformLimitIsOneOverSqrt12) {
+    EXPECT_NEAR(uniform_samples(10'000).population_stddev(), 1.0 / std::sqrt(12.0), 1e-3);
+}
+
+TEST(VariationCoefficient, FavorsSmallMeans) {
+    // The paper rejects this metric because tiny-mean distributions win.
+    EmpiricalDistribution tiny({0.001, 0.002, 0.001, 0.03});
+    const double cv_tiny = variation_coefficient(tiny);
+    const double cv_uniform = variation_coefficient(uniform_samples(100));
+    EXPECT_GT(cv_tiny, cv_uniform);
+}
+
+TEST(VariationCoefficient, ZeroMeanGivesZero) {
+    EmpiricalDistribution zeros({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(variation_coefficient(zeros), 0.0);
+}
+
+TEST(ShannonEntropy, UniformReachesLogK) {
+    const auto dist = uniform_samples(10'000);
+    EXPECT_NEAR(shannon_entropy(dist, 10), std::log(10.0), 1e-3);
+    EXPECT_NEAR(shannon_entropy(dist, 5), std::log(5.0), 1e-3);
+}
+
+TEST(ShannonEntropy, PointMassIsZero) {
+    EmpiricalDistribution dist({0.35, 0.35, 0.35});
+    EXPECT_DOUBLE_EQ(shannon_entropy(dist, 10), 0.0);
+}
+
+TEST(ShannonEntropy, DependsOnSlotCount) {
+    // The paper's criticism: the returned scale depends on k.  With two
+    // clusters inside one coarse slot, k=2 sees less entropy than k=20.
+    EmpiricalDistribution dist({0.1, 0.2, 0.3, 0.4});
+    EXPECT_LT(shannon_entropy(dist, 2), shannon_entropy(dist, 20));
+}
+
+TEST(Cre, UniformLimitIsOneQuarter) {
+    EXPECT_NEAR(cumulative_residual_entropy(uniform_samples(10'000)), 0.25, 1e-3);
+}
+
+TEST(Cre, PointMassesScoreLow) {
+    EmpiricalDistribution at_one({1.0, 1.0});
+    EXPECT_NEAR(cumulative_residual_entropy(at_one), 0.0, 1e-12);
+    // Mass at 0.5: CRE = -integral_0^0.5 1*ln(1) - ... = 0 (survival is 0/1).
+    EmpiricalDistribution at_half({0.5, 0.5});
+    EXPECT_NEAR(cumulative_residual_entropy(at_half), 0.0, 1e-12);
+}
+
+TEST(Cre, EmptyDistributionIsZero) {
+    EXPECT_DOUBLE_EQ(cumulative_residual_entropy(EmpiricalDistribution{}), 0.0);
+}
+
+TEST(MetricNames, AllDistinct) {
+    EXPECT_EQ(metric_name(UniformityMetric::mk_proximity), "M-K proximity");
+    EXPECT_NE(metric_name(UniformityMetric::std_deviation),
+              metric_name(UniformityMetric::cre));
+    EXPECT_NE(metric_name(UniformityMetric::shannon_entropy),
+              metric_name(UniformityMetric::variation_coefficient));
+}
+
+TEST(ComputeAllMetrics, ScoreOfRoundTrips) {
+    Histogram01 hist(100);
+    Rng rng(3);
+    for (int i = 0; i < 1'000; ++i) hist.add(0.001 + 0.999 * rng.uniform01());
+    const auto scores = compute_all_metrics(hist, 10);
+    EXPECT_DOUBLE_EQ(score_of(scores, UniformityMetric::mk_proximity), scores.mk_proximity);
+    EXPECT_DOUBLE_EQ(score_of(scores, UniformityMetric::std_deviation), scores.std_deviation);
+    EXPECT_DOUBLE_EQ(score_of(scores, UniformityMetric::variation_coefficient),
+                     scores.variation_coefficient);
+    EXPECT_DOUBLE_EQ(score_of(scores, UniformityMetric::shannon_entropy),
+                     scores.shannon_entropy);
+    EXPECT_DOUBLE_EQ(score_of(scores, UniformityMetric::cre), scores.cre);
+}
+
+// Histogram metrics must converge to the exact sample metrics as the bin
+// count grows; with samples aligned on bin edges they agree exactly.
+class HistogramVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramVsExact, MetricsAgreeWithinBinWidth) {
+    Rng rng(GetParam() * 97 + 11);
+    const std::size_t bins = 2000;
+    Histogram01 hist(bins);
+    EmpiricalDistribution exact;
+    const int count = 2'000;
+    for (int i = 0; i < count; ++i) {
+        // Mixture: uniform + spikes at 1 and near 0, like real occupancy data.
+        double x;
+        const double pick = rng.uniform01();
+        if (pick < 0.2) {
+            x = 1.0;
+        } else if (pick < 0.4) {
+            x = 0.01 + 0.02 * rng.uniform01();
+        } else {
+            x = rng.uniform01();
+        }
+        if (x <= 0.0) x = 1e-9;
+        hist.add(x);
+        exact.add(x);
+    }
+    const double tolerance = 2.0 / static_cast<double>(bins) + 1e-9;
+    EXPECT_NEAR(mk_distance_to_uniform(hist), mk_distance_to_uniform(exact), tolerance);
+    EXPECT_NEAR(cumulative_residual_entropy(hist), cumulative_residual_entropy(exact),
+                tolerance * 4);
+    EXPECT_NEAR(hist.population_stddev(), exact.population_stddev(), 1e-9);
+    EXPECT_NEAR(shannon_entropy(hist, 10), shannon_entropy(exact, 10), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, HistogramVsExact, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(HistogramMetrics, EmptyHistogramConventions) {
+    Histogram01 hist(100);
+    EXPECT_DOUBLE_EQ(mk_distance_to_uniform(hist), 0.5);
+    EXPECT_DOUBLE_EQ(mk_proximity(hist), 0.0);
+    EXPECT_DOUBLE_EQ(cumulative_residual_entropy(hist), 0.0);
+    EXPECT_DOUBLE_EQ(shannon_entropy(hist, 10), 0.0);
+    EXPECT_DOUBLE_EQ(variation_coefficient(hist), 0.0);
+}
+
+}  // namespace
+}  // namespace natscale
