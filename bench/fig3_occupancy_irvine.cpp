@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/occupancy.hpp"
+#include "core/delta_sweep.hpp"
 #include "core/saturation.hpp"
 #include "gen/replicas.hpp"
 #include "util/table.hpp"
@@ -63,11 +63,17 @@ int main(int argc, char** argv) {
     }
     icd_deltas.push_back(stream.period_end());
 
+    // All ICD periods in one batched, parallel sweep.
+    DeltaSweepEngine engine(stream, sweep_options_of(options));
+    std::vector<Histogram01> icd_histograms;
+    engine.evaluate(icd_deltas, &icd_histograms);
+
     std::vector<DataSeries> icd_blocks;
     std::printf("\nICD summary (left panel): proportion of trips with occ > x\n");
     ConsoleTable icd_table({"Delta", "P(occ>0.1)", "P(occ>0.5)", "P(occ>0.9)", "mean occ"});
-    for (Time delta : icd_deltas) {
-        const auto hist = occupancy_histogram(stream, delta, options.histogram_bins);
+    for (std::size_t d = 0; d < icd_deltas.size(); ++d) {
+        const Time delta = icd_deltas[d];
+        const Histogram01& hist = icd_histograms[d];
         const auto surv = hist.survival_at_edges();
         const std::size_t bins = hist.num_bins();
         auto survival_at = [&](double x) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/occupancy.hpp"
+#include "core/delta_sweep.hpp"
 #include "gen/replicas.hpp"
 #include "util/table.hpp"
 
@@ -30,10 +30,16 @@ int main(int argc, char** argv) {
         for (Time delta = 60; delta < stream.period_end(); delta *= 8) deltas.push_back(delta);
         deltas.push_back(stream.period_end());
 
+        // The whole Delta family in one batched, parallel sweep.
+        DeltaSweepEngine engine(stream);
+        std::vector<Histogram01> histograms;
+        engine.evaluate(deltas, &histograms);
+
         ConsoleTable table({"Delta", "P(occ>0.1)", "P(occ>0.5)", "P(occ>0.9)", "trips"});
         std::vector<DataSeries> blocks;
-        for (Time delta : deltas) {
-            const auto hist = occupancy_histogram(stream, delta);
+        for (std::size_t d = 0; d < deltas.size(); ++d) {
+            const Time delta = deltas[d];
+            const Histogram01& hist = histograms[d];
             const auto surv = hist.survival_at_edges();
             const std::size_t bins = hist.num_bins();
             auto survival_at = [&](double x) {

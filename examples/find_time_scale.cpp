@@ -4,7 +4,8 @@
 //
 // Usage:
 //   find_time_scale <stream-file> [--directed] [--metric=mk|stddev|shannon|cre]
-//                   [--points=N] [--curve] [--dat=prefix] [--json] [--segments]
+//                   [--points=N] [--threads=N] [--curve] [--dat=prefix]
+//                   [--json] [--segments]
 //
 // The stream file holds one `u v t` triple per line (spaces, tabs or commas;
 // '#'/'%' comments; arbitrary node labels).  Output: the saturation scale
@@ -32,8 +33,26 @@ void usage() {
     std::fprintf(stderr,
                  "usage: find_time_scale <stream-file> [--directed]\n"
                  "                       [--metric=mk|stddev|shannon|cre]\n"
-                 "                       [--points=N] [--curve] [--dat=prefix]\n"
-                 "                       [--json] [--segments]\n");
+                 "                       [--points=N] [--threads=N] [--curve]\n"
+                 "                       [--dat=prefix] [--json] [--segments]\n");
+}
+
+/// Numeric value of an `--option=N` argument; exits with a message on junk
+/// (including negatives, which std::stoul would silently wrap, and trailing
+/// garbage, which it would silently drop).
+std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
+    const std::string value = arg.substr(prefix_len);
+    try {
+        std::size_t consumed = 0;
+        const unsigned long parsed = std::stoul(value, &consumed);
+        if (value.empty() || value[0] == '-' || consumed != value.size()) {
+            throw std::invalid_argument(value);
+        }
+        return static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid number '%s' in '%s'\n", value.c_str(), arg.c_str());
+        std::exit(2);
+    }
 }
 
 }  // namespace
@@ -70,7 +89,11 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg.rfind("--points=", 0) == 0) {
-            options.coarse_points = static_cast<std::size_t>(std::stoul(arg.substr(9)));
+            options.coarse_points = parse_count(arg, 9);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            // The Delta grid is swept in parallel; the result is identical
+            // for every thread count (0 = all hardware threads).
+            options.num_threads = parse_count(arg, 10);
         } else if (arg == "--curve") {
             print_curve = true;
         } else if (arg == "--json") {

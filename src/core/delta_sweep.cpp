@@ -1,0 +1,105 @@
+#include "core/delta_sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "temporal/reachability.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+DeltaSweepEngine::DeltaSweepEngine(const LinkStream& stream, DeltaSweepOptions options)
+    : stream_(&stream), options_(options) {
+    const auto events = stream.events();
+    NATSCALE_EXPECTS(events.size() <= std::numeric_limits<std::uint32_t>::max());
+    pair_order_.resize(events.size());
+    for (std::uint32_t i = 0; i < pair_order_.size(); ++i) pair_order_[i] = i;
+    // Events are (t, u, v)-sorted; a stable sort by endpoints yields the
+    // (u, v, t) order, so within a pair the window index is nondecreasing
+    // for any Delta — the per-(pair, window) dedup below is one comparison.
+    std::stable_sort(pair_order_.begin(), pair_order_.end(),
+                     [&events](std::uint32_t a, std::uint32_t b) {
+                         return events[a].u != events[b].u ? events[a].u < events[b].u
+                                                          : events[a].v < events[b].v;
+                     });
+}
+
+GraphSeries DeltaSweepEngine::aggregate(Time delta) const {
+    NATSCALE_EXPECTS(delta >= 1);
+    const auto events = stream_->events();
+
+    // Pass 1 (time order): non-empty windows are contiguous runs, which
+    // yields the snapshot list already sorted by window index, plus each
+    // event's snapshot slot for O(1) lookup in pass 2.
+    std::vector<Snapshot> snapshots;
+    std::vector<std::uint32_t> slot_of_event(events.size());
+    std::size_t i = 0;
+    while (i < events.size()) {
+        const WindowIndex k = window_of(events[i].t, delta);
+        const auto slot = static_cast<std::uint32_t>(snapshots.size());
+        snapshots.push_back(Snapshot{k, {}});
+        while (i < events.size() && window_of(events[i].t, delta) == k) {
+            slot_of_event[i] = slot;
+            ++i;
+        }
+    }
+
+    // Pass 2 (pair order): append each (pair, window) occurrence once.
+    // Pairs arrive in increasing (u, v), so every snapshot's edge list comes
+    // out sorted and deduplicated with no per-window sort.
+    bool have_prev = false;
+    Event prev_event{};
+    std::uint32_t prev_slot = 0;
+    for (const std::uint32_t index : pair_order_) {
+        const Event& e = events[index];
+        const std::uint32_t slot = slot_of_event[index];
+        if (have_prev && prev_event.u == e.u && prev_event.v == e.v && prev_slot == slot) {
+            continue;
+        }
+        snapshots[slot].edges.emplace_back(e.u, e.v);
+        have_prev = true;
+        prev_event = e;
+        prev_slot = slot;
+    }
+
+    return GraphSeries(stream_->num_nodes(), num_windows(stream_->period_end(), delta),
+                       delta, stream_->directed(), std::move(snapshots));
+}
+
+ThreadPool& DeltaSweepEngine::pool() {
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    return *pool_;
+}
+
+std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
+                                                   std::vector<Histogram01>* histograms_out) {
+    std::vector<DeltaPoint> points(grid.size());
+    if (histograms_out != nullptr) {
+        histograms_out->assign(grid.size(), Histogram01(options_.histogram_bins));
+    }
+    if (grid.empty()) return points;
+
+    ThreadPool& workers = pool();
+    // One reusable reachability engine per worker: its O(n^2) state is
+    // allocated on the worker's first period and reused for every later one.
+    std::vector<TemporalReachability> engines(workers.concurrency());
+
+    workers.parallel_for(grid.size(), [&](std::size_t worker, std::size_t index) {
+        const GraphSeries series = aggregate(grid[index]);
+        Histogram01 hist(options_.histogram_bins);
+        engines[worker].scan_series(
+            series, [&](const MinimalTrip& trip) { hist.add(series_occupancy(trip)); });
+
+        DeltaPoint& point = points[index];
+        point.delta = grid[index];
+        point.scores = compute_all_metrics(hist, options_.shannon_slots);
+        point.num_trips = hist.total();
+        point.occupancy_mean = hist.mean();
+        if (histograms_out != nullptr) (*histograms_out)[index] = std::move(hist);
+    });
+    return points;
+}
+
+}  // namespace natscale

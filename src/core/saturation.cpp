@@ -3,9 +3,8 @@
 #include <algorithm>
 
 #include "core/delta_grid.hpp"
+#include "core/delta_sweep.hpp"
 #include "core/occupancy.hpp"
-#include "linkstream/aggregation.hpp"
-#include "temporal/reachability.hpp"
 #include "util/contracts.hpp"
 
 namespace natscale {
@@ -23,6 +22,14 @@ Time SaturationResult::gamma_for(UniformityMetric which) const {
     return best_delta;
 }
 
+DeltaSweepOptions sweep_options_of(const SaturationOptions& options) {
+    DeltaSweepOptions sweep;
+    sweep.histogram_bins = options.histogram_bins;
+    sweep.shannon_slots = options.shannon_slots;
+    sweep.num_threads = options.num_threads;
+    return sweep;
+}
+
 DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
                           const SaturationOptions& options, Histogram01* histogram_out) {
     DeltaPoint point;
@@ -37,23 +44,43 @@ DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
 
 namespace {
 
-/// Inserts points for every delta of `grid` not present in `curve` yet.
-void evaluate_grid(const LinkStream& stream, const std::vector<Time>& grid,
-                   const SaturationOptions& options, std::vector<DeltaPoint>& curve) {
+/// Curve point plus the histogram it was computed from (retained so the
+/// gamma histogram needs no extra sweep at the end of the search).
+struct CurvePoint {
+    DeltaPoint point;
+    Histogram01 histogram{Histogram01::kDefaultBins};
+};
+
+/// Batch-evaluates every delta of `grid` not present in `curve` yet and
+/// inserts the results in delta order.
+void evaluate_grid(DeltaSweepEngine& engine, const std::vector<Time>& grid,
+                   std::vector<CurvePoint>& curve) {
+    std::vector<Time> missing;
+    missing.reserve(grid.size());
     for (Time delta : grid) {
         const auto it = std::lower_bound(
             curve.begin(), curve.end(), delta,
-            [](const DeltaPoint& p, Time d) { return p.delta < d; });
-        if (it != curve.end() && it->delta == delta) continue;
-        curve.insert(it, evaluate_delta(stream, delta, options, nullptr));
+            [](const CurvePoint& p, Time d) { return p.point.delta < d; });
+        if (it != curve.end() && it->point.delta == delta) continue;
+        missing.push_back(delta);
+    }
+    if (missing.empty()) return;
+
+    std::vector<Histogram01> histograms;
+    std::vector<DeltaPoint> points = engine.evaluate(missing, &histograms);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto it = std::lower_bound(
+            curve.begin(), curve.end(), points[i].delta,
+            [](const CurvePoint& p, Time d) { return p.point.delta < d; });
+        curve.insert(it, CurvePoint{points[i], std::move(histograms[i])});
     }
 }
 
-std::size_t argmax_index(const std::vector<DeltaPoint>& curve, UniformityMetric metric) {
+std::size_t argmax_index(const std::vector<CurvePoint>& curve, UniformityMetric metric) {
     std::size_t best = 0;
     double best_score = -1.0;
     for (std::size_t i = 0; i < curve.size(); ++i) {
-        const double score = score_of(curve[i].scores, metric);
+        const double score = score_of(curve[i].point.scores, metric);
         if (score > best_score) {
             best_score = score;
             best = i;
@@ -73,33 +100,33 @@ SaturationResult find_saturation_scale(const LinkStream& stream,
     const Time hi = options.max_delta > 0 ? options.max_delta : stream.period_end();
     NATSCALE_EXPECTS(lo >= 1 && lo <= hi);
 
+    DeltaSweepEngine engine(stream, sweep_options_of(options));
+
     SaturationResult result;
     result.metric = options.metric;
 
-    evaluate_grid(stream, geometric_delta_grid(lo, hi, options.coarse_points), options,
-                  result.curve);
+    std::vector<CurvePoint> curve;
+    evaluate_grid(engine, geometric_delta_grid(lo, hi, options.coarse_points), curve);
 
     for (std::size_t round = 0; round < options.refine_rounds; ++round) {
-        const std::size_t best = argmax_index(result.curve, options.metric);
-        const Time bracket_lo = best == 0 ? result.curve.front().delta
-                                          : result.curve[best - 1].delta;
-        const Time bracket_hi = best + 1 >= result.curve.size()
-                                    ? result.curve.back().delta
-                                    : result.curve[best + 1].delta;
+        const std::size_t best = argmax_index(curve, options.metric);
+        const Time bracket_lo = best == 0 ? curve.front().point.delta
+                                          : curve[best - 1].point.delta;
+        const Time bracket_hi = best + 1 >= curve.size() ? curve.back().point.delta
+                                                         : curve[best + 1].point.delta;
         if (bracket_hi - bracket_lo <= 2) break;  // already at tick resolution
-        evaluate_grid(stream,
+        evaluate_grid(engine,
                       linear_delta_grid(bracket_lo, bracket_hi,
                                         std::max<std::size_t>(options.refine_points, 3)),
-                      options, result.curve);
+                      curve);
     }
 
-    const std::size_t best = argmax_index(result.curve, options.metric);
-    result.at_gamma = result.curve[best];
+    const std::size_t best = argmax_index(curve, options.metric);
+    result.at_gamma = curve[best].point;
     result.gamma = result.at_gamma.delta;
-    // Re-evaluate once more to surface the histogram at gamma.
-    Histogram01 hist(options.histogram_bins);
-    evaluate_delta(stream, result.gamma, options, &hist);
-    result.gamma_histogram = std::move(hist);
+    result.gamma_histogram = std::move(curve[best].histogram);
+    result.curve.reserve(curve.size());
+    for (const auto& entry : curve) result.curve.push_back(entry.point);
     return result;
 }
 

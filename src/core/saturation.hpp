@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/delta_sweep.hpp"
 #include "linkstream/link_stream.hpp"
 #include "stats/histogram01.hpp"
 #include "stats/uniformity.hpp"
@@ -45,15 +46,15 @@ struct SaturationOptions {
     /// Sweep range; 0 means "use the natural bound" (1 tick / T).
     Time min_delta = 0;
     Time max_delta = 0;
+
+    /// Threads for the per-Delta fan-out of the grid evaluations; 0 =
+    /// hardware concurrency, 1 = sequential.  The result is bit-identical
+    /// for every thread count (see core/delta_sweep).
+    std::size_t num_threads = 0;
 };
 
-/// One evaluated aggregation period.
-struct DeltaPoint {
-    Time delta = 0;                 // ticks
-    UniformityScores scores;        // all five Section 7 metrics
-    std::uint64_t num_trips = 0;    // minimal trips of G_Delta
-    double occupancy_mean = 0.0;
-};
+/// Sweep options matching a SaturationOptions (same bins / slots / threads).
+DeltaSweepOptions sweep_options_of(const SaturationOptions& options);
 
 struct SaturationResult {
     /// The saturation scale gamma, in ticks.
@@ -77,11 +78,17 @@ struct SaturationResult {
     Time gamma_for(UniformityMetric metric) const;
 };
 
-/// Runs the occupancy method.  Preconditions: stream non-empty.
+/// Runs the occupancy method.  The whole Delta grid of each round is
+/// evaluated in one batched, parallel DeltaSweepEngine pass; the result is
+/// identical to the sequential per-period evaluation.  Preconditions:
+/// stream non-empty.
 SaturationResult find_saturation_scale(const LinkStream& stream,
                                        const SaturationOptions& options = {});
 
-/// Evaluates a single aggregation period (one O(nM) sweep).
+/// Evaluates a single aggregation period (one O(nM) sweep).  This is the
+/// legacy single-period reference path — independent of DeltaSweepEngine —
+/// kept as the ground truth the batched sweep is tested against.  For more
+/// than a couple of periods, build a DeltaSweepEngine instead.
 DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
                           const SaturationOptions& options, Histogram01* histogram_out = nullptr);
 

@@ -1,9 +1,11 @@
 #include "core/validation.hpp"
 
+#include "core/delta_sweep.hpp"
 #include "linkstream/aggregation.hpp"
 #include "temporal/reachability.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace natscale {
 
@@ -23,19 +25,22 @@ std::vector<LostTransitionPoint> lost_transitions_curve(const LinkStream& stream
     return lost_transitions_curve(set, deltas);
 }
 
-ElongationPoint elongation_at(const LinkStream& stream, Time delta,
-                              const StreamTripStore& store) {
-    NATSCALE_EXPECTS(delta >= 1);
+namespace {
+
+/// Elongation of one aggregated series against the stream trip store; the
+/// reachability engine is caller-provided so a sweep can reuse one per
+/// worker thread.
+ElongationPoint elongation_of_series(const GraphSeries& series, const StreamTripStore& store,
+                                     TemporalReachability& engine) {
+    const Time delta = series.delta();
     ElongationPoint point;
     point.delta = delta;
 
-    const GraphSeries series = aggregate(stream, delta);
     ReachabilityOptions options;
     options.pair_sample_divisor = store.pair_sample_divisor();
 
     KahanSum elongation_sum;
     std::uint64_t measured = 0;
-    TemporalReachability engine;
     engine.scan_series(series, [&](const MinimalTrip& trip) {
         if (trip.dep == trip.arr) return;  // e_P defined only for t_u != t_v
         // Absolute time window spanned by the trip.  Definition 8 writes the
@@ -66,6 +71,15 @@ ElongationPoint elongation_at(const LinkStream& stream, Time delta,
     return point;
 }
 
+}  // namespace
+
+ElongationPoint elongation_at(const LinkStream& stream, Time delta,
+                              const StreamTripStore& store) {
+    NATSCALE_EXPECTS(delta >= 1);
+    TemporalReachability engine;
+    return elongation_of_series(aggregate(stream, delta), store, engine);
+}
+
 std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
                                               const std::vector<Time>& deltas,
                                               const ElongationOptions& options) {
@@ -82,11 +96,19 @@ std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
     store_options.pair_sample_divisor = divisor;
     const StreamTripStore store(stream, store_options);
 
-    std::vector<ElongationPoint> curve;
-    curve.reserve(deltas.size());
-    for (Time delta : deltas) {
-        curve.push_back(elongation_at(stream, delta, store));
-    }
+    // The periods are independent: share the aggregation index and fan the
+    // scans out, one result slot and one reachability engine per worker.
+    DeltaSweepOptions sweep_options;
+    sweep_options.num_threads = options.num_threads;
+    const DeltaSweepEngine shared(stream, sweep_options);
+
+    ThreadPool pool(options.num_threads);
+    std::vector<TemporalReachability> engines(pool.concurrency());
+    std::vector<ElongationPoint> curve(deltas.size());
+    pool.parallel_for(deltas.size(), [&](std::size_t worker, std::size_t index) {
+        curve[index] =
+            elongation_of_series(shared.aggregate(deltas[index]), store, engines[worker]);
+    });
     return curve;
 }
 

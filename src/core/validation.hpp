@@ -44,13 +44,20 @@ struct ElongationOptions {
     /// Upper bound on stored stream trips; the pair-sampling divisor is
     /// chosen automatically as ceil(total/limit).  0 disables sampling.
     std::uint64_t max_stored_trips = 4'000'000;
+
+    /// Threads for the per-period fan-out (the periods are independent);
+    /// 0 = hardware concurrency, 1 = sequential.  The curve is bit-identical
+    /// for every thread count.
+    std::size_t num_threads = 0;
 };
 
 /// Fig. 8 right: mean elongation factor e_P = (t_v - t_u + 1) * Delta /
 /// time_L(P) (Definition 8) of the minimal trips of G_Delta, per period.
 /// Trips with t_u == t_v are skipped, as in the paper (their elongation is
 /// undefined).  Deterministic pair sampling keeps memory bounded on large
-/// streams while leaving the mean unbiased.
+/// streams while leaving the mean unbiased.  Aggregation is shared across
+/// the periods (one DeltaSweepEngine) and the per-period scans run on a
+/// util/thread_pool.
 std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
                                               const std::vector<Time>& deltas,
                                               const ElongationOptions& options = {});

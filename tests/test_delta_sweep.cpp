@@ -1,0 +1,184 @@
+// Tests of the batched multi-Delta sweep engine: shared-buffer aggregation
+// equals the legacy per-call aggregation, the batched evaluation is
+// bit-identical to the legacy per-Delta path, and results are independent
+// of the thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/delta_grid.hpp"
+#include "core/delta_sweep.hpp"
+#include "core/saturation.hpp"
+#include "gen/uniform_stream.hpp"
+#include "linkstream/aggregation.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+LinkStream seeded_stream(std::uint64_t seed) {
+    UniformStreamSpec spec;
+    spec.num_nodes = 24;
+    spec.links_per_pair = 4;
+    spec.period_end = 20'000;
+    return generate_uniform_stream(spec, seed);
+}
+
+LinkStream seeded_directed_stream(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    for (int i = 0; i < 600; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_int(0, 19));
+        NodeId v = static_cast<NodeId>(rng.uniform_int(0, 19));
+        if (v == u) v = (v + 1) % 20;
+        events.push_back({u, v, static_cast<Time>(rng.uniform_int(0, 9'999))});
+    }
+    return LinkStream(std::move(events), 20, 10'000, /*directed=*/true);
+}
+
+void expect_same_series(const GraphSeries& a, const GraphSeries& b) {
+    ASSERT_EQ(a.num_windows(), b.num_windows());
+    ASSERT_EQ(a.delta(), b.delta());
+    ASSERT_EQ(a.directed(), b.directed());
+    ASSERT_EQ(a.num_nonempty_windows(), b.num_nonempty_windows());
+    ASSERT_EQ(a.total_edges(), b.total_edges());
+    for (std::size_t i = 0; i < a.snapshots().size(); ++i) {
+        EXPECT_EQ(a.snapshots()[i].k, b.snapshots()[i].k);
+        EXPECT_EQ(a.snapshots()[i].edges, b.snapshots()[i].edges);
+    }
+}
+
+void expect_identical_point(const DeltaPoint& a, const DeltaPoint& b) {
+    EXPECT_EQ(a.delta, b.delta);
+    EXPECT_EQ(a.num_trips, b.num_trips);
+    EXPECT_EQ(a.occupancy_mean, b.occupancy_mean);  // bitwise: same fp order
+    EXPECT_EQ(a.scores.mk_proximity, b.scores.mk_proximity);
+    EXPECT_EQ(a.scores.std_deviation, b.scores.std_deviation);
+    EXPECT_EQ(a.scores.variation_coefficient, b.scores.variation_coefficient);
+    EXPECT_EQ(a.scores.shannon_entropy, b.scores.shannon_entropy);
+    EXPECT_EQ(a.scores.cre, b.scores.cre);
+}
+
+TEST(DeltaSweepAggregation, MatchesLegacyAggregateAcrossDeltas) {
+    const auto stream = seeded_stream(11);
+    const DeltaSweepEngine engine(stream);
+    for (Time delta : geometric_delta_grid(1, stream.period_end(), 16)) {
+        expect_same_series(engine.aggregate(delta), aggregate(stream, delta));
+    }
+}
+
+TEST(DeltaSweepAggregation, MatchesLegacyAggregateDirected) {
+    const auto stream = seeded_directed_stream(5);
+    const DeltaSweepEngine engine(stream);
+    for (Time delta : {Time{1}, Time{7}, Time{100}, Time{9'999}, Time{10'000}}) {
+        expect_same_series(engine.aggregate(delta), aggregate(stream, delta));
+    }
+}
+
+TEST(DeltaSweepAggregation, DuplicateEventsCollapsePerWindow) {
+    // Exact duplicate (u, v, t) events and same-window repeats must both
+    // dedup, exactly as the legacy path does.
+    std::vector<Event> events = {{0, 1, 5}, {0, 1, 5}, {0, 1, 7}, {1, 2, 6}, {0, 1, 20}};
+    const LinkStream stream(std::move(events), 3, 30);
+    const DeltaSweepEngine engine(stream);
+    for (Time delta : {Time{1}, Time{10}, Time{30}}) {
+        expect_same_series(engine.aggregate(delta), aggregate(stream, delta));
+    }
+}
+
+TEST(DeltaSweep, BatchedMatchesLegacyEvaluateDeltaBitwise) {
+    const auto stream = seeded_stream(42);
+    const auto grid = geometric_delta_grid(1, stream.period_end(), 20);
+
+    SaturationOptions legacy_options;
+    DeltaSweepEngine engine(stream, sweep_options_of(legacy_options));
+    std::vector<Histogram01> histograms;
+    const auto batched = engine.evaluate(grid, &histograms);
+
+    ASSERT_EQ(batched.size(), grid.size());
+    ASSERT_EQ(histograms.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        Histogram01 legacy_hist(legacy_options.histogram_bins);
+        const DeltaPoint legacy =
+            evaluate_delta(stream, grid[i], legacy_options, &legacy_hist);
+        expect_identical_point(batched[i], legacy);
+        EXPECT_EQ(histograms[i].counts(), legacy_hist.counts());
+        EXPECT_EQ(histograms[i].total(), batched[i].num_trips);
+    }
+}
+
+TEST(DeltaSweep, ThreadCountDoesNotChangeResults) {
+    const auto stream = seeded_stream(7);
+    const auto grid = geometric_delta_grid(1, stream.period_end(), 24);
+
+    DeltaSweepOptions single;
+    single.num_threads = 1;
+    DeltaSweepEngine engine1(stream, single);
+    std::vector<Histogram01> hist1;
+    const auto points1 = engine1.evaluate(grid, &hist1);
+
+    for (std::size_t threads : {2u, 4u, 7u}) {
+        DeltaSweepOptions multi;
+        multi.num_threads = threads;
+        DeltaSweepEngine engineN(stream, multi);
+        std::vector<Histogram01> histN;
+        const auto pointsN = engineN.evaluate(grid, &histN);
+        ASSERT_EQ(pointsN.size(), points1.size());
+        for (std::size_t i = 0; i < points1.size(); ++i) {
+            expect_identical_point(pointsN[i], points1[i]);
+            EXPECT_EQ(histN[i].counts(), hist1[i].counts());
+        }
+    }
+}
+
+TEST(DeltaSweep, FindSaturationScaleIdenticalAcrossThreadCounts) {
+    const auto stream = seeded_stream(3);
+
+    SaturationOptions options;
+    options.coarse_points = 16;
+    options.refine_rounds = 1;
+    options.refine_points = 5;
+    options.num_threads = 1;
+    const SaturationResult single = find_saturation_scale(stream, options);
+
+    options.num_threads = 4;
+    const SaturationResult multi = find_saturation_scale(stream, options);
+
+    EXPECT_EQ(single.gamma, multi.gamma);
+    ASSERT_EQ(single.curve.size(), multi.curve.size());
+    for (std::size_t i = 0; i < single.curve.size(); ++i) {
+        expect_identical_point(single.curve[i], multi.curve[i]);
+    }
+    expect_identical_point(single.at_gamma, multi.at_gamma);
+    EXPECT_EQ(single.gamma_histogram.counts(), multi.gamma_histogram.counts());
+    EXPECT_EQ(single.gamma_histogram.total(), multi.gamma_histogram.total());
+}
+
+TEST(DeltaSweep, GammaHistogramMatchesLegacyReEvaluation) {
+    // The search retains the gamma histogram from the sweep instead of
+    // re-evaluating; it must equal what the legacy re-evaluation produced.
+    const auto stream = seeded_stream(19);
+    SaturationOptions options;
+    options.coarse_points = 12;
+    options.refine_rounds = 1;
+    const SaturationResult result = find_saturation_scale(stream, options);
+
+    Histogram01 legacy(options.histogram_bins);
+    evaluate_delta(stream, result.gamma, options, &legacy);
+    EXPECT_EQ(result.gamma_histogram.counts(), legacy.counts());
+}
+
+TEST(DeltaSweep, EmptyGridAndDuplicateDeltas) {
+    const auto stream = seeded_stream(1);
+    DeltaSweepEngine engine(stream);
+    EXPECT_TRUE(engine.evaluate({}).empty());
+
+    const std::vector<Time> grid = {100, 100, 250};
+    const auto points = engine.evaluate(grid);
+    ASSERT_EQ(points.size(), 3u);
+    expect_identical_point(points[0], points[1]);
+    EXPECT_EQ(points[2].delta, 250);
+}
+
+}  // namespace
+}  // namespace natscale

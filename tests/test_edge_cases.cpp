@@ -133,7 +133,9 @@ TEST(EdgeCases, DirectedStarHasNoTransitiveTrips) {
     engine.scan_stream(stream, [&](const MinimalTrip& t) { EXPECT_EQ(t.hops, 1); });
     for (NodeId v = 1; v < 4; ++v) {
         for (NodeId w = 1; w < 4; ++w) {
-            if (v != w) EXPECT_EQ(engine.arrival(v, w), kInfiniteTime);
+            if (v != w) {
+                EXPECT_EQ(engine.arrival(v, w), kInfiniteTime);
+            }
         }
     }
 }

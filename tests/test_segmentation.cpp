@@ -49,7 +49,9 @@ TEST(Segmentation, TwoModeStreamSplitsIntoAlternations) {
     for (std::size_t i = 0; i < segments.size(); ++i) {
         EXPECT_EQ(segments[i].begin, cursor);
         EXPECT_GT(segments[i].end, segments[i].begin);
-        if (i > 0) EXPECT_NE(segments[i].high_activity, segments[i - 1].high_activity);
+        if (i > 0) {
+            EXPECT_NE(segments[i].high_activity, segments[i - 1].high_activity);
+        }
         cursor = segments[i].end;
     }
     EXPECT_EQ(cursor, 50'000);
