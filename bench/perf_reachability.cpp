@@ -3,12 +3,23 @@
 // Validates the paper's Section 5 complexity claim — O(nM) time, where n is
 // the node count and M the total number of edges over all snapshots — by
 // sweeping n at fixed M and M at fixed n: both sweeps should scale linearly.
-// Also measures aggregation itself and a full occupancy-histogram pass.
+// Also measures aggregation itself, a full occupancy-histogram pass, and the
+// dense-vs-sparse backend crossover (same scan, both backends, n sweep at
+// fixed per-node density) that seeds the repo's perf trajectory.
+//
+// Machine-readable output: pass `--benchmark_out=BENCH_reachability.json
+// --benchmark_out_format=json` — every DenseVsSparse point carries n, M,
+// trips, the exact per-backend state size, and the RSS grown while the
+// point ran as counters, so the crossover curve can be plotted straight
+// from the JSON artifact.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "core/occupancy.hpp"
 #include "linkstream/aggregation.hpp"
-#include "temporal/reachability.hpp"
+#include "temporal/reachability_backend.hpp"
+#include "util/proc_rss.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -94,6 +105,66 @@ void BM_Aggregate(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
 }
 BENCHMARK(BM_Aggregate)->Arg(1)->Arg(1'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+/// Dense-vs-sparse crossover: the same series scan through both backends,
+/// sweeping n at a fixed ~4 events/node (the sparse regime of real contact
+/// traces).  Filter with --benchmark_filter=DenseVsSparse for the JSON
+/// artifact; compare the two curves point by point to read off the
+/// crossover.  The dense sweep stops at n = 4096 (state: n^2 x 12 B =
+/// 192 MiB); the sparse sweep continues to n = 16384, where dense would
+/// need 3 GiB.
+GraphSeries crossover_series(NodeId n) {
+    const auto stream = random_stream(6, n, static_cast<std::size_t>(n) * 4,
+                                      static_cast<Time>(n) * 40);
+    return aggregate(stream, static_cast<Time>(n) / 8 + 1);
+}
+
+void BM_DenseVsSparse_Dense(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    const double rss_before = current_rss_mib();
+    const auto series = crossover_series(n);
+    TemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    state.counters["state_MiB"] =
+        static_cast<double>(n) * static_cast<double>(n) * 12.0 / (1024.0 * 1024.0);
+    // RSS grown while this point ran (series + engine state; approximate —
+    // allocator reuse across points undercounts).  state_MiB is the exact
+    // per-backend number; process-lifetime VmHWM would be useless here, as
+    // every point after the largest one would just inherit its peak.
+    state.counters["rss_delta_MiB"] = std::max(0.0, current_rss_mib() - rss_before);
+}
+BENCHMARK(BM_DenseVsSparse_Dense)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseVsSparse_Sparse(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    const double rss_before = current_rss_mib();
+    const auto series = crossover_series(n);
+    SparseTemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    state.counters["state_MiB"] = static_cast<double>(engine.num_finite_entries()) *
+                                  sizeof(SparseTemporalReachability::Entry) /
+                                  (1024.0 * 1024.0);
+    state.counters["rss_delta_MiB"] = std::max(0.0, current_rss_mib() - rss_before);
+}
+BENCHMARK(BM_DenseVsSparse_Sparse)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
 
 /// One full occupancy-histogram evaluation (aggregate + scan + bin).
 void BM_OccupancyHistogram(benchmark::State& state) {

@@ -4,8 +4,8 @@
 //
 // Usage:
 //   find_time_scale <stream-file> [--directed] [--metric=mk|stddev|shannon|cre]
-//                   [--points=N] [--threads=N] [--curve] [--dat=prefix]
-//                   [--json] [--segments]
+//                   [--points=N] [--threads=N] [--backend=auto|dense|sparse]
+//                   [--curve] [--dat=prefix] [--json] [--segments]
 //
 // The stream file holds one `u v t` triple per line (spaces, tabs or commas;
 // '#'/'%' comments; arbitrary node labels).  Output: the saturation scale
@@ -33,7 +33,8 @@ void usage() {
     std::fprintf(stderr,
                  "usage: find_time_scale <stream-file> [--directed]\n"
                  "                       [--metric=mk|stddev|shannon|cre]\n"
-                 "                       [--points=N] [--threads=N] [--curve]\n"
+                 "                       [--points=N] [--threads=N]\n"
+                 "                       [--backend=auto|dense|sparse] [--curve]\n"
                  "                       [--dat=prefix] [--json] [--segments]\n");
 }
 
@@ -94,6 +95,20 @@ int main(int argc, char** argv) {
             // The Delta grid is swept in parallel; the result is identical
             // for every thread count (0 = all hardware threads).
             options.num_threads = parse_count(arg, 10);
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            // Reachability storage: auto picks dense or sparse per scan from
+            // n and event density; the result is identical either way.
+            const std::string backend = arg.substr(10);
+            if (backend == "auto") {
+                options.backend = ReachabilityBackend::automatic;
+            } else if (backend == "dense") {
+                options.backend = ReachabilityBackend::dense;
+            } else if (backend == "sparse") {
+                options.backend = ReachabilityBackend::sparse;
+            } else {
+                std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+                return 2;
+            }
         } else if (arg == "--curve") {
             print_curve = true;
         } else if (arg == "--json") {

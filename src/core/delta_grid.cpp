@@ -37,6 +37,10 @@ std::vector<Time> linear_delta_grid(Time lo, Time hi, std::size_t count) {
 }
 
 std::vector<Time> merge_delta_grids(const std::vector<Time>& a, const std::vector<Time>& b) {
+    // std::merge requires sorted ranges; an unsorted input would silently
+    // yield a non-sorted, non-deduplicated grid downstream.
+    NATSCALE_EXPECTS(std::is_sorted(a.begin(), a.end()));
+    NATSCALE_EXPECTS(std::is_sorted(b.begin(), b.end()));
     std::vector<Time> merged;
     merged.reserve(a.size() + b.size());
     std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(merged));

@@ -22,7 +22,9 @@ std::vector<Time> geometric_delta_grid(Time lo, Time hi, std::size_t count);
 /// Linear grid of up to `count` distinct integer periods covering [lo, hi].
 std::vector<Time> linear_delta_grid(Time lo, Time hi, std::size_t count);
 
-/// Merges two sorted grids, removing duplicates.
+/// Merges two sorted grids, removing duplicates.  Preconditions: both
+/// inputs sorted (checked; std::merge would otherwise silently produce a
+/// non-sorted, non-deduplicated grid).
 std::vector<Time> merge_delta_grids(const std::vector<Time>& a, const std::vector<Time>& b);
 
 }  // namespace natscale

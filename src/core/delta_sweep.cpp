@@ -5,7 +5,7 @@
 
 #include "linkstream/aggregation.hpp"
 #include "temporal/minimal_trip.hpp"
-#include "temporal/reachability.hpp"
+#include "temporal/reachability_backend.hpp"
 #include "util/contracts.hpp"
 
 namespace natscale {
@@ -82,15 +82,19 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
     if (grid.empty()) return points;
 
     ThreadPool& workers = pool();
-    // One reusable reachability engine per worker: its O(n^2) state is
-    // allocated on the worker's first period and reused for every later one.
-    std::vector<TemporalReachability> engines(workers.concurrency());
+    // One reusable reachability engine per worker: its state (dense tables
+    // or sparse rows, per the selected backend) is allocated on the worker's
+    // first period and reused for every later one.
+    std::vector<ReachabilityEngine> engines(workers.concurrency());
+    ReachabilityOptions scan_options;
+    scan_options.backend = options_.backend;
 
     workers.parallel_for(grid.size(), [&](std::size_t worker, std::size_t index) {
         const GraphSeries series = aggregate(grid[index]);
         Histogram01 hist(options_.histogram_bins);
         engines[worker].scan_series(
-            series, [&](const MinimalTrip& trip) { hist.add(series_occupancy(trip)); });
+            series, [&](const MinimalTrip& trip) { hist.add(series_occupancy(trip)); },
+            scan_options);
 
         DeltaPoint& point = points[index];
         point.delta = grid[index];

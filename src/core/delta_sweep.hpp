@@ -34,6 +34,7 @@
 #include "linkstream/link_stream.hpp"
 #include "stats/histogram01.hpp"
 #include "stats/uniformity.hpp"
+#include "temporal/reachability.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
@@ -57,6 +58,13 @@ struct DeltaSweepOptions {
     /// Threads for the per-Delta fan-out; 0 = hardware concurrency, 1 =
     /// fully sequential (no pool threads are spawned).
     std::size_t num_threads = 0;
+
+    /// Reachability backend of the per-Delta scans.  `automatic` picks dense
+    /// or sparse from n and event density (temporal/reachability_backend);
+    /// the evaluated points are bit-identical either way, but the sparse
+    /// backend bounds per-worker memory by the reachable-pair count instead
+    /// of threads x n^2 x 12 B.
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
 };
 
 class DeltaSweepEngine {

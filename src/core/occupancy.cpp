@@ -1,36 +1,49 @@
 #include "core/occupancy.hpp"
 
 #include "linkstream/aggregation.hpp"
-#include "temporal/reachability.hpp"
+#include "temporal/reachability_backend.hpp"
 
 namespace natscale {
 
-Histogram01 occupancy_histogram(const GraphSeries& series, std::size_t num_bins) {
+namespace {
+
+ReachabilityOptions options_for(ReachabilityBackend backend) {
+    ReachabilityOptions options;
+    options.backend = backend;
+    return options;
+}
+
+}  // namespace
+
+Histogram01 occupancy_histogram(const GraphSeries& series, std::size_t num_bins,
+                                ReachabilityBackend backend) {
     Histogram01 hist(num_bins);
-    TemporalReachability engine;
+    ReachabilityEngine engine;
     engine.scan_series(series, [&](const MinimalTrip& trip) {
         hist.add(series_occupancy(trip));
-    });
+    }, options_for(backend));
     return hist;
 }
 
-Histogram01 occupancy_histogram(const LinkStream& stream, Time delta, std::size_t num_bins) {
-    return occupancy_histogram(aggregate(stream, delta), num_bins);
+Histogram01 occupancy_histogram(const LinkStream& stream, Time delta, std::size_t num_bins,
+                                ReachabilityBackend backend) {
+    return occupancy_histogram(aggregate(stream, delta), num_bins, backend);
 }
 
-EmpiricalDistribution occupancy_distribution(const GraphSeries& series) {
+EmpiricalDistribution occupancy_distribution(const GraphSeries& series,
+                                             ReachabilityBackend backend) {
     EmpiricalDistribution dist;
-    TemporalReachability engine;
+    ReachabilityEngine engine;
     engine.scan_series(series, [&](const MinimalTrip& trip) {
         dist.add(series_occupancy(trip));
-    });
+    }, options_for(backend));
     return dist;
 }
 
-std::uint64_t count_minimal_trips(const GraphSeries& series) {
+std::uint64_t count_minimal_trips(const GraphSeries& series, ReachabilityBackend backend) {
     std::uint64_t count = 0;
-    TemporalReachability engine;
-    engine.scan_series(series, [&](const MinimalTrip&) { ++count; });
+    ReachabilityEngine engine;
+    engine.scan_series(series, [&](const MinimalTrip&) { ++count; }, options_for(backend));
     return count;
 }
 

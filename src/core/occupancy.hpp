@@ -14,23 +14,31 @@
 #include "linkstream/link_stream.hpp"
 #include "stats/empirical_distribution.hpp"
 #include "stats/histogram01.hpp"
+#include "temporal/reachability.hpp"
 #include "util/types.hpp"
 
 namespace natscale {
 
 /// Streaming histogram of the occupancy rates of all minimal trips of the
-/// series (histogram error O(1/num_bins); see Histogram01).
+/// series (histogram error O(1/num_bins); see Histogram01).  The scan
+/// backend is selected automatically from n and event density unless forced
+/// (see temporal/reachability_backend.hpp); the histogram is bit-identical
+/// either way.
 Histogram01 occupancy_histogram(const GraphSeries& series,
-                                std::size_t num_bins = Histogram01::kDefaultBins);
+                                std::size_t num_bins = Histogram01::kDefaultBins,
+                                ReachabilityBackend backend = ReachabilityBackend::automatic);
 
 /// Aggregates the stream at `delta` and computes the occupancy histogram.
 Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
-                                std::size_t num_bins = Histogram01::kDefaultBins);
+                                std::size_t num_bins = Histogram01::kDefaultBins,
+                                ReachabilityBackend backend = ReachabilityBackend::automatic);
 
 /// Exact sample-storing variant for small series and for the tests.
-EmpiricalDistribution occupancy_distribution(const GraphSeries& series);
+EmpiricalDistribution occupancy_distribution(
+    const GraphSeries& series, ReachabilityBackend backend = ReachabilityBackend::automatic);
 
 /// Count of minimal trips of the aggregated series.
-std::uint64_t count_minimal_trips(const GraphSeries& series);
+std::uint64_t count_minimal_trips(
+    const GraphSeries& series, ReachabilityBackend backend = ReachabilityBackend::automatic);
 
 }  // namespace natscale

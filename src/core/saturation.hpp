@@ -51,6 +51,11 @@ struct SaturationOptions {
     /// hardware concurrency, 1 = sequential.  The result is bit-identical
     /// for every thread count (see core/delta_sweep).
     std::size_t num_threads = 0;
+
+    /// Reachability backend of the per-Delta scans; `automatic` picks dense
+    /// or sparse from n and event density.  gamma, the curve, and the gamma
+    /// histogram are bit-identical for every choice.
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
 };
 
 /// Sweep options matching a SaturationOptions (same bins / slots / threads).

@@ -2,7 +2,7 @@
 
 #include "core/delta_sweep.hpp"
 #include "linkstream/aggregation.hpp"
-#include "temporal/reachability.hpp"
+#include "temporal/reachability_backend.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -31,13 +31,15 @@ namespace {
 /// reachability engine is caller-provided so a sweep can reuse one per
 /// worker thread.
 ElongationPoint elongation_of_series(const GraphSeries& series, const StreamTripStore& store,
-                                     TemporalReachability& engine) {
+                                     ReachabilityEngine& engine,
+                                     ReachabilityBackend backend) {
     const Time delta = series.delta();
     ElongationPoint point;
     point.delta = delta;
 
     ReachabilityOptions options;
     options.pair_sample_divisor = store.pair_sample_divisor();
+    options.backend = backend;
 
     KahanSum elongation_sum;
     std::uint64_t measured = 0;
@@ -76,8 +78,9 @@ ElongationPoint elongation_of_series(const GraphSeries& series, const StreamTrip
 ElongationPoint elongation_at(const LinkStream& stream, Time delta,
                               const StreamTripStore& store) {
     NATSCALE_EXPECTS(delta >= 1);
-    TemporalReachability engine;
-    return elongation_of_series(aggregate(stream, delta), store, engine);
+    ReachabilityEngine engine;
+    return elongation_of_series(aggregate(stream, delta), store, engine,
+                                ReachabilityBackend::automatic);
 }
 
 std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
@@ -103,11 +106,11 @@ std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
     const DeltaSweepEngine shared(stream, sweep_options);
 
     ThreadPool pool(options.num_threads);
-    std::vector<TemporalReachability> engines(pool.concurrency());
+    std::vector<ReachabilityEngine> engines(pool.concurrency());
     std::vector<ElongationPoint> curve(deltas.size());
     pool.parallel_for(deltas.size(), [&](std::size_t worker, std::size_t index) {
-        curve[index] =
-            elongation_of_series(shared.aggregate(deltas[index]), store, engines[worker]);
+        curve[index] = elongation_of_series(shared.aggregate(deltas[index]), store,
+                                            engines[worker], options.backend);
     });
     return curve;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linkstream/link_stream.hpp"
+#include "temporal/reachability.hpp"
 #include "temporal/transitions.hpp"
 #include "temporal/trip_store.hpp"
 #include "util/types.hpp"
@@ -49,6 +50,11 @@ struct ElongationOptions {
     /// 0 = hardware concurrency, 1 = sequential.  The curve is bit-identical
     /// for every thread count.
     std::size_t num_threads = 0;
+
+    /// Reachability backend of the per-period series scans; `automatic`
+    /// picks dense or sparse from n and event density.  The curve is
+    /// bit-identical for every choice.
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
 };
 
 /// Fig. 8 right: mean elongation factor e_P = (t_v - t_u + 1) * Delta /

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <istream>
 #include <sstream>
 
 #include "util/contracts.hpp"
@@ -40,11 +41,13 @@ bool parse_time(std::string_view field, double scale, Time& out) {
     return true;
 }
 
-}  // namespace
-
-LoadedStream parse_link_stream(const std::string& text, const LoadOptions& options,
-                               const std::string& origin) {
-    std::istringstream is(text);
+/// Shared line-by-line parsing core: consumes `is` one line at a time, so
+/// loading a file never materializes more than one line plus the event list
+/// (the pre-streaming loader buffered the whole file into an ostringstream,
+/// copied it into a std::string, then copied again into an istringstream —
+/// three transient full copies of the dataset before the first event).
+LoadedStream parse_events(std::istream& is, const LoadOptions& options,
+                          const std::string& origin) {
     std::string line;
     std::size_t line_number = 0;
 
@@ -86,12 +89,18 @@ LoadedStream parse_link_stream(const std::string& text, const LoadOptions& optio
     return {std::move(stream), std::move(labels)};
 }
 
+}  // namespace
+
+LoadedStream parse_link_stream(const std::string& text, const LoadOptions& options,
+                               const std::string& origin) {
+    std::istringstream is(text);
+    return parse_events(is, options, origin);
+}
+
 LoadedStream load_link_stream(const std::string& path, const LoadOptions& options) {
     std::ifstream file(path);
     if (!file) throw std::runtime_error("cannot open '" + path + "'");
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    return parse_link_stream(buffer.str(), options, path);
+    return parse_events(file, options, path);
 }
 
 void save_link_stream(const std::string& path, const LinkStream& stream,

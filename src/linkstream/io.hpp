@@ -41,8 +41,10 @@ struct LoadedStream {
     std::vector<std::string> node_labels;
 };
 
-/// Parses the file at `path`.  Throws io_error on syntax errors and
-/// std::runtime_error if the file cannot be opened or holds no events.
+/// Parses the file at `path`, streaming it line by line (peak memory is the
+/// event list plus one line, never a full copy of the file).  Throws
+/// io_error on syntax errors and std::runtime_error if the file cannot be
+/// opened or holds no events.
 LoadedStream load_link_stream(const std::string& path, const LoadOptions& options = {});
 
 /// Parses events from a string (same grammar); `origin` names the source in

@@ -11,12 +11,17 @@ Histogram01::Histogram01(std::size_t num_bins) : counts_(num_bins, 0) {
 }
 
 void Histogram01::add(double x, std::uint64_t count) noexcept {
+    // A NaN sample carries no information and would fall through both range
+    // guards below into ceil(NaN) - 1, an out-of-bounds write.  Drop it.
+    if (std::isnan(x)) return;
     const std::size_t bins = counts_.size();
     std::size_t idx;
     if (x <= 0.0) {
         idx = 0;
+        x = 0.0;  // clamp the moment contribution too (-inf would poison sum_)
     } else if (x >= 1.0) {
         idx = bins - 1;
+        x = 1.0;
     } else {
         // Bin j covers (j/B, (j+1)/B]: index = ceil(x*B) - 1.
         idx = static_cast<std::size_t>(std::ceil(x * static_cast<double>(bins))) - 1;

@@ -26,7 +26,10 @@ public:
 
     explicit Histogram01(std::size_t num_bins = kDefaultBins);
 
-    /// Adds a sample; values outside (0, 1] are clamped into the end bins.
+    /// Adds a sample; values outside (0, 1] — including +/-infinity — are
+    /// clamped to the end bins (and to 0/1 in the moment accumulators); NaN
+    /// samples are dropped (they carry no information, and unguarded they
+    /// would index out of bounds).
     void add(double x) noexcept;
 
     /// Adds `count` samples of the same value.

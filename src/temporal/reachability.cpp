@@ -14,15 +14,23 @@ void TemporalReachability::prepare(NodeId n) {
     active_.clear();
 }
 
-void TemporalReachability::build_arcs_from_edges(std::span<const Edge> edges, bool directed) {
-    arcs_.clear();
-    arcs_.reserve(directed ? edges.size() : 2 * edges.size());
+namespace detail {
+
+void build_instant_arcs(std::vector<Edge>& arcs, std::span<const Edge> edges, bool directed) {
+    arcs.clear();
+    arcs.reserve(directed ? edges.size() : 2 * edges.size());
     for (const auto& [u, v] : edges) {
-        arcs_.emplace_back(u, v);
-        if (!directed) arcs_.emplace_back(v, u);
+        arcs.emplace_back(u, v);
+        if (!directed) arcs.emplace_back(v, u);
     }
-    std::sort(arcs_.begin(), arcs_.end());
-    arcs_.erase(std::unique(arcs_.begin(), arcs_.end()), arcs_.end());
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+}
+
+}  // namespace detail
+
+void TemporalReachability::build_arcs_from_edges(std::span<const Edge> edges, bool directed) {
+    detail::build_instant_arcs(arcs_, edges, directed);
 }
 
 Time TemporalReachability::arrival(NodeId u, NodeId v) const {

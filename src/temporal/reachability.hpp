@@ -43,6 +43,17 @@
 
 namespace natscale {
 
+/// Storage strategy of a reachability scan.  The dense backend keeps two
+/// n x n tables (n^2 x 12 bytes); the sparse backend keeps one sorted run of
+/// (v, arrival, hops) entries per source, bounded by the number of reachable
+/// ordered pairs.  Both emit the exact same minimal trips in the exact same
+/// order (see temporal/sparse_reachability.hpp for the equivalence argument).
+enum class ReachabilityBackend {
+    automatic,  ///< pick from n and event density (see select_backend)
+    dense,      ///< n x n tables — fastest for small/dense node sets
+    sparse,     ///< per-source sorted runs — required for large sparse n
+};
+
 struct ReachabilityOptions {
     /// If non-null, fed with every value change so that mean d_time/d_hops
     /// over all (u, v, t) can be computed exactly.  Series mode only.
@@ -53,7 +64,45 @@ struct ReachabilityOptions {
     /// 1 (default) reports every trip.  Sampling selects whole pairs, so the
     /// per-pair trip structure needed by the elongation measure is preserved.
     std::uint64_t pair_sample_divisor = 1;
+
+    /// Backend used by ReachabilityEngine (temporal/reachability_backend.hpp).
+    /// `automatic` selects from the node count and event density; forcing
+    /// `dense` or `sparse` overrides the selection.  Ignored when scanning
+    /// through TemporalReachability / SparseTemporalReachability directly.
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
 };
+
+namespace detail {
+
+/// Deduplicated directed arcs of one instant, sorted by (source, target);
+/// shared by the dense and sparse sweep backends so both relax the exact
+/// same arc sequence.
+void build_instant_arcs(std::vector<Edge>& arcs, std::span<const Edge> edges, bool directed);
+
+/// Stream-mode sweep driver, shared by both backends so they group the
+/// identical instants: walks the time-sorted event list backwards, one
+/// distinct timestamp at a time, fills `arcs` for that instant and invokes
+/// process(timestamp).
+template <typename Process>
+void for_each_instant_backward(std::span<const Event> events, bool directed,
+                               std::vector<Edge>& arcs, Process&& process) {
+    std::vector<Edge> group_edges;
+    std::size_t end = events.size();
+    while (end > 0) {
+        const Time t = events[end - 1].t;
+        std::size_t begin = end;
+        while (begin > 0 && events[begin - 1].t == t) --begin;
+        group_edges.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            group_edges.emplace_back(events[i].u, events[i].v);
+        }
+        build_instant_arcs(arcs, group_edges, directed);
+        process(t);
+        end = begin;
+    }
+}
+
+}  // namespace detail
 
 /// Reusable sweep engine.  Construction is cheap; the O(n^2) state is
 /// allocated on first use and reused across scans (the occupancy method runs
@@ -126,21 +175,8 @@ void TemporalReachability::scan_stream(const LinkStream& stream, Sink&& sink,
                                        const ReachabilityOptions& options) {
     NATSCALE_EXPECTS(options.distances == nullptr);  // series mode only
     prepare(stream.num_nodes());
-    const auto events = stream.events();
-    std::vector<Edge> group_edges;
-    std::size_t end = events.size();
-    while (end > 0) {
-        const Time t = events[end - 1].t;
-        std::size_t begin = end;
-        while (begin > 0 && events[begin - 1].t == t) --begin;
-        group_edges.clear();
-        for (std::size_t i = begin; i < end; ++i) {
-            group_edges.emplace_back(events[i].u, events[i].v);
-        }
-        build_arcs_from_edges(group_edges, stream.directed());
-        process_instant(t, sink, options);
-        end = begin;
-    }
+    detail::for_each_instant_backward(stream.events(), stream.directed(), arcs_,
+                                      [&](Time t) { process_instant(t, sink, options); });
 }
 
 template <typename Sink>

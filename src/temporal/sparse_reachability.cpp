@@ -1,0 +1,36 @@
+#include "temporal/sparse_reachability.hpp"
+
+namespace natscale {
+
+void SparseTemporalReachability::prepare(NodeId n) {
+    n_ = n;
+    rows_.resize(n);
+    for (Row& row : rows_) row.clear();
+    if (slot_.size() < n) slot_.assign(n, -1);
+    std::fill(slot_.begin(), slot_.end(), -1);
+    active_.clear();
+}
+
+Time SparseTemporalReachability::arrival(NodeId u, NodeId v) const {
+    NATSCALE_EXPECTS(u < n_ && v < n_);
+    const Row& row = rows_[u];
+    const auto it = std::lower_bound(row.begin(), row.end(), v,
+                                     [](const Entry& e, NodeId x) { return e.v < x; });
+    return it != row.end() && it->v == v ? it->arr : kInfiniteTime;
+}
+
+Hops SparseTemporalReachability::hop_count(NodeId u, NodeId v) const {
+    NATSCALE_EXPECTS(u < n_ && v < n_);
+    const Row& row = rows_[u];
+    const auto it = std::lower_bound(row.begin(), row.end(), v,
+                                     [](const Entry& e, NodeId x) { return e.v < x; });
+    return it != row.end() && it->v == v ? it->hops : kInfiniteHops;
+}
+
+std::size_t SparseTemporalReachability::num_finite_entries() const {
+    std::size_t total = 0;
+    for (const Row& row : rows_) total += row.size();
+    return total;
+}
+
+}  // namespace natscale

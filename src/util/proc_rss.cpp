@@ -1,0 +1,36 @@
+#include "util/proc_rss.hpp"
+
+#ifdef __linux__
+#include <fstream>
+#include <string>
+#endif
+
+namespace natscale {
+
+namespace {
+
+double status_field_mib(const char* field) {
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    std::string key;
+    while (status >> key) {
+        if (key == field) {
+            double kib = 0.0;
+            status >> kib;
+            return kib / 1024.0;
+        }
+        std::getline(status, key);  // skip the rest of the line
+    }
+#else
+    (void)field;
+#endif
+    return 0.0;
+}
+
+}  // namespace
+
+double peak_rss_mib() { return status_field_mib("VmHWM:"); }
+
+double current_rss_mib() { return status_field_mib("VmRSS:"); }
+
+}  // namespace natscale

@@ -1,0 +1,21 @@
+// Process resident-set-size introspection (Linux /proc; 0.0 elsewhere).
+//
+// Used by the memory-bound scale tests (tests/test_sparse_scale.cpp, the
+// streaming-loader regression test) and the dense-vs-sparse crossover bench
+// to put real memory numbers next to timings.  Not a profiling substitute:
+// peak_rss_mib() is the process-lifetime high-water mark (monotone — a
+// later measurement inherits every earlier allocation's peak), and
+// current_rss_mib() deltas undercount when the allocator satisfies new
+// requests from previously-freed arena pages.
+#pragma once
+
+namespace natscale {
+
+/// Peak resident set size of this process in MiB (Linux VmHWM), or 0.0 when
+/// the proc interface is unavailable.  Monotone over the process lifetime.
+double peak_rss_mib();
+
+/// Current resident set size in MiB (Linux VmRSS), or 0.0 when unavailable.
+double current_rss_mib();
+
+}  // namespace natscale

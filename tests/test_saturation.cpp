@@ -46,6 +46,46 @@ TEST(DeltaGrid, SingletonRange) {
     EXPECT_EQ(geometric_delta_grid(7, 7, 10), std::vector<Time>{7});
 }
 
+TEST(DeltaGrid, MergeRejectsUnsortedInputs) {
+    // Regression: std::merge silently produced a non-sorted,
+    // non-deduplicated grid when either input violated its precondition.
+    EXPECT_THROW(merge_delta_grids({5, 1, 9}, {3, 12}), contract_error);
+    EXPECT_THROW(merge_delta_grids({1, 9}, {12, 3}), contract_error);
+    EXPECT_NO_THROW(merge_delta_grids({}, {}));
+    EXPECT_NO_THROW(merge_delta_grids({1, 1, 2}, {2}));  // non-strict is fine
+}
+
+TEST(DeltaGrid, RefinementRoundGridsSatisfyMergePreconditions) {
+    // find_saturation_scale merges a geometric coarse grid with linear
+    // refinement grids over the brackets around the running optimum; every
+    // grid either side can produce must arrive sorted and deduplicated.
+    for (const Time lo : {Time{1}, Time{7}, Time{999}}) {
+        for (const Time hi : {lo, lo + 1, lo + 2, lo + 100, lo + 99'999}) {
+            for (const std::size_t count : {std::size_t{2}, std::size_t{3},
+                                            std::size_t{12}, std::size_t{48}}) {
+                for (const auto& grid : {geometric_delta_grid(lo, hi, count),
+                                         linear_delta_grid(lo, hi, count)}) {
+                    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+                    EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+                    EXPECT_NO_THROW(merge_delta_grids(grid, grid));
+                }
+            }
+        }
+    }
+    // And the searches themselves run their refinement rounds without
+    // tripping the new contracts (exercised on a real stream).
+    UniformStreamSpec spec;
+    spec.num_nodes = 12;
+    spec.links_per_pair = 6;
+    spec.period_end = 10'000;
+    SaturationOptions options;
+    options.coarse_points = 24;
+    options.refine_rounds = 3;
+    options.refine_points = 6;
+    options.histogram_bins = 400;
+    EXPECT_NO_THROW(find_saturation_scale(generate_uniform_stream(spec, 9), options));
+}
+
 TEST(DeltaGrid, RejectsBadArguments) {
     EXPECT_THROW(geometric_delta_grid(0, 10, 5), contract_error);
     EXPECT_THROW(geometric_delta_grid(10, 5, 5), contract_error);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/empirical_distribution.hpp"
 #include "stats/histogram01.hpp"
@@ -73,6 +74,30 @@ TEST(Histogram01, ClampsOutOfRange) {
     hist.add(2.0);
     EXPECT_EQ(hist.counts()[0], 1u);
     EXPECT_EQ(hist.counts()[3], 1u);
+}
+
+TEST(Histogram01, NanSamplesAreDroppedNotWrittenOutOfBounds) {
+    // Regression: a NaN fell through both range guards into
+    // static_cast<size_t>(ceil(NaN)) - 1 — an out-of-bounds write (UB).
+    Histogram01 hist(4);
+    hist.add(0.5);
+    hist.add(std::numeric_limits<double>::quiet_NaN());
+    hist.add(std::nan("1"), 7);
+    EXPECT_EQ(hist.total(), 1u);  // only the finite sample counted
+    EXPECT_EQ(hist.counts()[1], 1u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.5);
+    EXPECT_FALSE(std::isnan(hist.population_stddev()));
+}
+
+TEST(Histogram01, InfinitiesClampedInBinsAndMoments) {
+    Histogram01 hist(4);
+    hist.add(std::numeric_limits<double>::infinity());
+    hist.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(hist.counts()[3], 1u);
+    EXPECT_EQ(hist.counts()[0], 1u);
+    // Moments must stay finite: pre-fix, sum_ += inf poisoned the mean.
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.5);
+    EXPECT_TRUE(std::isfinite(hist.population_stddev()));
 }
 
 TEST(Histogram01, WeightedAdd) {
