@@ -1,0 +1,163 @@
+// Out-of-core pipeline bench: synthesizes an N-event .natbin trace on disk
+// through the streaming writer, then measures each stage of the mmap path —
+// open+validate, chunked aggregation, occupancy scan — together with the
+// process peak RSS, and emits the numbers as machine-readable JSON.  CI
+// uploads the JSON next to BENCH_reachability.json, seeding the
+// trace-size-vs-memory trajectory of the out-of-core backend.
+//
+// Usage: scale_outofcore [--events=N] [--nodes=N] [--windows=K] [--json=FILE]
+//
+// The workload mirrors tests/test_outofcore_scale (ring-local contacts, one
+// event per tick) so the bench numbers and the CI-enforced RSS bound
+// describe the same pipeline.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "core/occupancy.hpp"
+#include "linkstream/aggregation.hpp"
+#include "linkstream/binary_io.hpp"
+#include "util/proc_rss.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace natscale;
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& arg, std::size_t prefix_len) {
+    try {
+        const std::string value = arg.substr(prefix_len);
+        std::size_t consumed = 0;
+        const unsigned long long parsed = std::stoull(value, &consumed);
+        if (value.empty() || value[0] == '-' || consumed != value.size() || parsed == 0) {
+            throw std::invalid_argument(value);
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid number in '%s'\n", arg.c_str());
+        std::exit(2);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t num_events = 10'000'000;
+    std::uint64_t num_nodes = 16'384;
+    std::uint64_t num_windows = 32;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--events=", 0) == 0) {
+            num_events = parse_u64(arg, 9);
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            num_nodes = parse_u64(arg, 8);
+        } else if (arg.rfind("--windows=", 0) == 0) {
+            num_windows = parse_u64(arg, 10);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            std::fprintf(stderr,
+                         "usage: scale_outofcore [--events=N] [--nodes=N] [--windows=K] "
+                         "[--json=FILE]\n");
+            return 2;
+        }
+    }
+
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("natscale_bench_outofcore_" + std::to_string(num_events) + ".natbin"))
+                          .string();
+    const auto period = static_cast<Time>(num_events);
+    const Time delta = std::max<Time>(1, period / static_cast<Time>(num_windows));
+
+    try {
+        Stopwatch total;
+
+        Stopwatch watch;
+        {
+            NatbinWriter writer(path, static_cast<NodeId>(num_nodes), period, false);
+            for (std::uint64_t i = 0; i < num_events; ++i) {
+                auto a = static_cast<NodeId>(hash64(i) % num_nodes);
+                auto b = static_cast<NodeId>((a + 1) % num_nodes);
+                if (a > b) std::swap(a, b);
+                writer.append({a, b, static_cast<Time>(i)});
+            }
+            writer.finish();
+        }
+        const double write_s = watch.elapsed_seconds();
+        const auto file_bytes = std::filesystem::file_size(path);
+
+        watch.reset();
+        const auto loaded = open_natbin(path);
+        const double open_s = watch.elapsed_seconds();
+        const bool mmap_backed = !loaded.stream.source().memory_resident();
+
+        watch.reset();
+        const auto series = aggregate(loaded.stream, delta);
+        const double aggregate_s = watch.elapsed_seconds();
+
+        watch.reset();
+        const auto hist = occupancy_histogram(series);
+        const double scan_s = watch.elapsed_seconds();
+
+        const double rss_mib = peak_rss_mib();
+        const double trace_mib = static_cast<double>(file_bytes) / (1024.0 * 1024.0);
+
+        std::printf("events=%llu file=%.1f MiB mmap=%d write=%.2fs open+validate=%.2fs "
+                    "aggregate=%.2fs scan=%.2fs trips=%llu peak_rss=%.1f MiB "
+                    "(%.0f%% of trace)\n",
+                    static_cast<unsigned long long>(num_events), trace_mib, mmap_backed ? 1 : 0,
+                    write_s, open_s, aggregate_s, scan_s,
+                    static_cast<unsigned long long>(hist.total()), rss_mib,
+                    trace_mib > 0 ? 100.0 * rss_mib / trace_mib : 0.0);
+
+        if (!json_path.empty()) {
+            std::FILE* out = std::fopen(json_path.c_str(), "w");
+            if (out == nullptr) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", json_path.c_str());
+                std::filesystem::remove(path);
+                return 1;
+            }
+            std::fprintf(out,
+                         "{\n"
+                         "  \"benchmark\": \"scale_outofcore\",\n"
+                         "  \"events\": %llu,\n"
+                         "  \"nodes\": %llu,\n"
+                         "  \"windows\": %llu,\n"
+                         "  \"file_bytes\": %llu,\n"
+                         "  \"mmap_backed\": %s,\n"
+                         "  \"write_seconds\": %.6f,\n"
+                         "  \"open_validate_seconds\": %.6f,\n"
+                         "  \"aggregate_seconds\": %.6f,\n"
+                         "  \"scan_seconds\": %.6f,\n"
+                         "  \"total_seconds\": %.6f,\n"
+                         "  \"trips\": %llu,\n"
+                         "  \"occupancy_mean\": %.17g,\n"
+                         "  \"peak_rss_mib\": %.3f,\n"
+                         "  \"peak_rss_fraction_of_trace\": %.6f\n"
+                         "}\n",
+                         static_cast<unsigned long long>(num_events),
+                         static_cast<unsigned long long>(num_nodes),
+                         static_cast<unsigned long long>(num_windows),
+                         static_cast<unsigned long long>(file_bytes),
+                         mmap_backed ? "true" : "false", write_s, open_s, aggregate_s, scan_s,
+                         total.elapsed_seconds(),
+                         static_cast<unsigned long long>(hist.total()), hist.mean(), rss_mib,
+                         trace_mib > 0 ? rss_mib / trace_mib : 0.0);
+            std::fclose(out);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return 1;
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return 0;
+}

@@ -5,12 +5,20 @@
 // Usage:
 //   find_time_scale <stream-file> [--directed] [--metric=mk|stddev|shannon|cre]
 //                   [--points=N] [--threads=N] [--backend=auto|dense|sparse]
+//                   [--format=auto|text|natbin]
 //                   [--curve] [--dat=prefix] [--json] [--segments]
+//   find_time_scale convert <input> <output> [--directed]
+//                   [--format=auto|text|natbin] [--to=natbin|text]
 //
-// The stream file holds one `u v t` triple per line (spaces, tabs or commas;
-// '#'/'%' comments; arbitrary node labels).  Output: the saturation scale
-// gamma, and optionally the full metric curve, machine-readable JSON,
-// per-activity-regime scales, and gnuplot .dat files.
+// Text stream files hold one `u v t` triple per line (spaces, tabs or
+// commas; '#'/'%' comments; arbitrary node labels).  .natbin files are the
+// compact binary format of linkstream/binary_io: they reopen via mmap, so
+// multi-GB traces are analyzed out-of-core without loading the events into
+// RAM.  `convert` turns one into the other (text -> natbin is the common
+// direction; the labels, node universe and period survive exactly).
+// Output: the saturation scale gamma, and optionally the full metric curve,
+// machine-readable JSON, per-activity-regime scales, and gnuplot .dat
+// files.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -20,6 +28,7 @@
 #include "core/report.hpp"
 #include "core/saturation.hpp"
 #include "core/segmentation.hpp"
+#include "linkstream/binary_io.hpp"
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/format.hpp"
@@ -34,8 +43,11 @@ void usage() {
                  "usage: find_time_scale <stream-file> [--directed]\n"
                  "                       [--metric=mk|stddev|shannon|cre]\n"
                  "                       [--points=N] [--threads=N]\n"
-                 "                       [--backend=auto|dense|sparse] [--curve]\n"
-                 "                       [--dat=prefix] [--json] [--segments]\n");
+                 "                       [--backend=auto|dense|sparse]\n"
+                 "                       [--format=auto|text|natbin] [--curve]\n"
+                 "                       [--dat=prefix] [--json] [--segments]\n"
+                 "       find_time_scale convert <input> <output> [--directed]\n"
+                 "                       [--format=auto|text|natbin] [--to=natbin|text]\n");
 }
 
 /// Numeric value of an `--option=N` argument; exits with a message on junk
@@ -56,6 +68,92 @@ std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
     }
 }
 
+/// `--format=` / `--to=` values; `automatic` sniffs the file's magic bytes.
+enum class FormatChoice { automatic, text, natbin };
+
+FormatChoice parse_format(const std::string& arg, std::size_t prefix_len,
+                          bool allow_automatic) {
+    const std::string value = arg.substr(prefix_len);
+    if (value == "auto" && allow_automatic) return FormatChoice::automatic;
+    if (value == "text") return FormatChoice::text;
+    if (value == "natbin") return FormatChoice::natbin;
+    std::fprintf(stderr, "unknown format '%s' in '%s'\n", value.c_str(), arg.c_str());
+    std::exit(2);
+}
+
+/// Loads `path` honouring a forced format.  natbin goes through the
+/// mmap-backed open_natbin, so the events are paged on demand instead of
+/// parsed into RAM.  A natbin file fixes its own directedness, so a
+/// contradicting --directed is reported rather than silently dropped.
+LoadedStream load_input(const std::string& path, FormatChoice format,
+                        const LoadOptions& options) {
+    if (format == FormatChoice::automatic) {
+        format = detect_stream_format(path) == StreamFormat::natbin ? FormatChoice::natbin
+                                                                    : FormatChoice::text;
+    }
+    if (format == FormatChoice::text) return load_link_stream(path, options);
+    LoadedStream loaded = open_natbin(path);
+    if (options.directed && !loaded.stream.directed()) {
+        std::fprintf(stderr,
+                     "warning: --directed ignored: '%s' is a natbin file flagged undirected\n",
+                     path.c_str());
+    }
+    return loaded;
+}
+
+/// `find_time_scale convert <input> <output>`: re-encodes a stream.  The
+/// natbin output preserves what text cannot: the exact node universe n
+/// (isolated nodes included), the period of study T, directedness, and the
+/// dense-id <-> label mapping.
+int run_convert(int argc, char** argv) {
+    LoadOptions load_options;
+    FormatChoice in_format = FormatChoice::automatic;
+    FormatChoice out_format = FormatChoice::natbin;
+    std::string input;
+    std::string output;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--directed") {
+            load_options.directed = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            in_format = parse_format(arg, 9, true);
+        } else if (arg.rfind("--to=", 0) == 0) {
+            out_format = parse_format(arg, 5, false);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        } else if (input.empty()) {
+            input = arg;
+        } else if (output.empty()) {
+            output = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (input.empty() || output.empty()) {
+        usage();
+        return 2;
+    }
+    try {
+        const LoadedStream loaded = load_input(input, in_format, load_options);
+        if (out_format == FormatChoice::natbin) {
+            save_natbin(output, loaded.stream, loaded.node_labels);
+        } else {
+            save_link_stream(output, loaded.stream, loaded.node_labels);
+        }
+        std::cout << "wrote " << output << ": " << loaded.stream.num_events() << " events, n="
+                  << loaded.stream.num_nodes() << ", T=" << loaded.stream.period_end()
+                  << (loaded.stream.directed() ? ", directed" : ", undirected") << '\n';
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,8 +161,10 @@ int main(int argc, char** argv) {
         usage();
         return 2;
     }
+    if (std::strcmp(argv[1], "convert") == 0) return run_convert(argc, argv);
     std::string path;
     LoadOptions load_options;
+    FormatChoice format = FormatChoice::automatic;
     SaturationOptions options;
     bool print_curve = false;
     bool print_json = false;
@@ -109,6 +209,10 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
                 return 2;
             }
+        } else if (arg.rfind("--format=", 0) == 0) {
+            // Input encoding: auto sniffs the magic bytes; natbin streams
+            // are mmap'd (analyzed out-of-core), text is parsed into RAM.
+            format = parse_format(arg, 9, true);
         } else if (arg == "--curve") {
             print_curve = true;
         } else if (arg == "--json") {
@@ -131,7 +235,7 @@ int main(int argc, char** argv) {
     }
 
     try {
-        const LoadedStream loaded = load_link_stream(path, load_options);
+        const LoadedStream loaded = load_input(path, format, load_options);
         const auto stats = compute_stream_stats(loaded.stream);
         if (!print_json) print_stream_summary(std::cout, path, stats);
 

@@ -7,12 +7,17 @@
 // re-does per-window edge sorting and deduplication from scratch every
 // time; DeltaSweepEngine shares that work across the grid:
 //
-//   * the time-sorted event buffer is shared (it lives in the LinkStream),
-//     and one extra (u, v, t)-ordered permutation of it is computed once at
-//     construction.  Aggregating at any Delta is then a single O(E) pass:
-//     window boundaries come from the time order, per-window edge lists
-//     come out of the pair order already sorted and deduplicated — no
-//     per-window sort, no per-call dedup;
+//   * the time-sorted event buffer is shared (it lives behind the
+//     LinkStream's EventSource — in RAM or an mmap'd .natbin trace), and
+//     one extra (u, v, t)-ordered index over it is computed once at
+//     construction (optionally spilled to a mmap'd temp file, see
+//     DeltaSweepOptions::IndexSpill).  Aggregating at any Delta is then a
+//     single O(E) pass: window boundaries come from the time order,
+//     per-window edge lists come out of the pair order already sorted and
+//     deduplicated — no per-window sort, no per-call dedup.  For
+//     mmap-backed sources the engine instead defaults to the chunked
+//     window-sequential pipeline of linkstream/aggregation, whose peak
+//     residency is the per-window working set, not the trace;
 //   * the independent per-Delta reachability scans fan out over a
 //     util/thread_pool, with one reusable TemporalReachability engine per
 //     worker so the O(n^2) sweep state is allocated once per thread, not
@@ -35,6 +40,7 @@
 #include "stats/histogram01.hpp"
 #include "stats/uniformity.hpp"
 #include "temporal/reachability.hpp"
+#include "util/mmap_file.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
@@ -65,13 +71,51 @@ struct DeltaSweepOptions {
     /// backend bounds per-worker memory by the reachable-pair count instead
     /// of threads x n^2 x 12 B.
     ReachabilityBackend backend = ReachabilityBackend::automatic;
+
+    /// How aggregate() materializes each snapshot list.  All three produce
+    /// bit-identical GraphSeries (hence bit-identical evaluated points):
+    ///
+    ///   pair_index — the precomputed (u, v, t) index over the source:
+    ///                O(E) per Delta with no per-window sort, at 4 B/event
+    ///                of index plus random access into the event storage
+    ///                (which pins an mmap-backed trace resident).
+    ///   chunked    — the window-sequential out-of-core pipeline of
+    ///                linkstream/aggregation: per-window sort+dedup with
+    ///                consumed mmap pages released behind the scan; peak
+    ///                residency is the per-window working set.
+    ///   automatic  — pair_index for memory-resident sources, chunked for
+    ///                mmap-backed ones.
+    enum class Aggregation { automatic, pair_index, chunked };
+    Aggregation aggregation = Aggregation::automatic;
+
+    /// Where the pair-order index lives (pair_index mode only).
+    ///
+    ///   never     — an in-RAM std::vector (4 B/event).
+    ///   always    — spilled to a mmap'd unlinked temp file, so the only
+    ///               RAM it pins is its resident window; the build still
+    ///               sorts in RAM first, the spill frees that afterwards.
+    ///   automatic — spill only when the event source itself is mmap-backed
+    ///               (the out-of-core regime where 4 B/event matters).
+    ///
+    /// Spilling is best-effort: if the temp file cannot be written or
+    /// mapped, the index silently stays in RAM.  Note that pair-index
+    /// aggregate() additionally allocates a transient 4 B/event slot array
+    /// per call (per worker under evaluate()); on traces where that
+    /// matters, prefer Aggregation::chunked — which `automatic` picks for
+    /// mmap sources anyway.
+    enum class IndexSpill { automatic, never, always };
+    IndexSpill index_spill = IndexSpill::automatic;
 };
 
 class DeltaSweepEngine {
 public:
     /// Indexes `stream` for repeated aggregation: one O(E log E) pair-order
     /// sort, amortized over every subsequent evaluate()/aggregate() call.
+    /// In chunked mode (the automatic choice for mmap-backed streams) no
+    /// index is built at all and each aggregate() is one sequential pass.
     /// The stream must outlive the engine.
+    /// Preconditions: pair_index mode supports at most 2^32 - 1 events;
+    /// chunked mode has no such limit.
     explicit DeltaSweepEngine(const LinkStream& stream, DeltaSweepOptions options = {});
 
     const LinkStream& stream() const noexcept { return *stream_; }
@@ -92,15 +136,29 @@ public:
     /// Preconditions: delta >= 1.
     GraphSeries aggregate(Time delta) const;
 
+    /// True when aggregate() goes through the pair-order index (resolved
+    /// from options().aggregation and the stream's storage at
+    /// construction).
+    bool uses_pair_index() const noexcept { return use_pair_index_; }
+
+    /// True when the pair-order index lives in a spilled temp-file mapping
+    /// rather than RAM.
+    bool index_spilled() const noexcept { return index_spill_ != nullptr; }
+
 private:
     ThreadPool& pool();
+    void build_pair_index();
 
     const LinkStream* stream_;
     DeltaSweepOptions options_;
+    bool use_pair_index_ = true;
 
     /// Event indices sorted by (u, v, t) — the stable pair-order view of
-    /// the shared time-sorted event buffer.
-    std::vector<std::uint32_t> pair_order_;
+    /// the shared time-sorted event buffer.  Backed by either the in-RAM
+    /// vector or the spilled mapping; empty in chunked mode.
+    std::span<const std::uint32_t> pair_order_;
+    std::vector<std::uint32_t> pair_order_storage_;
+    std::unique_ptr<MappedFile> index_spill_;
 
     /// Created on first evaluate(); aggregate()-only users never pay for
     /// pool threads.

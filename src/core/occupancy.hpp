@@ -29,6 +29,10 @@ Histogram01 occupancy_histogram(const GraphSeries& series,
                                 ReachabilityBackend backend = ReachabilityBackend::automatic);
 
 /// Aggregates the stream at `delta` and computes the occupancy histogram.
+/// Aggregation is window-sequential (linkstream/aggregation), so an
+/// mmap-backed stream (open_natbin) is consumed out-of-core: peak residency
+/// is the per-window working set, and the histogram is bit-identical to the
+/// in-memory path.
 Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
                                 std::size_t num_bins = Histogram01::kDefaultBins,
                                 ReachabilityBackend backend = ReachabilityBackend::automatic);

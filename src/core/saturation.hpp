@@ -85,8 +85,11 @@ struct SaturationResult {
 
 /// Runs the occupancy method.  The whole Delta grid of each round is
 /// evaluated in one batched, parallel DeltaSweepEngine pass; the result is
-/// identical to the sequential per-period evaluation.  Preconditions:
-/// stream non-empty.
+/// identical to the sequential per-period evaluation.  mmap-backed streams
+/// (linkstream/binary_io's open_natbin) are swept out-of-core — the engine
+/// picks the chunked aggregation pipeline, and gamma, the curve, and the
+/// gamma histogram stay bit-identical to the in-memory path for every
+/// backend and thread count.  Preconditions: stream non-empty.
 SaturationResult find_saturation_scale(const LinkStream& stream,
                                        const SaturationOptions& options = {});
 

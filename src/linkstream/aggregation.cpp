@@ -10,6 +10,14 @@ GraphSeries aggregate(const LinkStream& stream, Time delta) {
     NATSCALE_EXPECTS(delta >= 1);
     const WindowIndex K = num_windows(stream.period_end(), delta);
 
+    // One front-to-back pass over the time order — the chunked out-of-core
+    // pipeline.  For mmap-backed sources (linkstream/event_source) the scan
+    // drops the pages it has consumed every few MiB, so aggregating a
+    // multi-GB trace keeps only the per-window working set plus a sliding
+    // window of the file resident.  For in-memory sources the hints are
+    // no-ops and this is the classic per-window sort+dedup.
+    SequentialScan scan(stream.source());
+
     std::vector<Snapshot> snapshots;
     const auto events = stream.events();
     std::size_t i = 0;
@@ -24,8 +32,15 @@ GraphSeries aggregate(const LinkStream& stream, Time delta) {
         }
         std::sort(snap.edges.begin(), snap.edges.end());
         snap.edges.erase(std::unique(snap.edges.begin(), snap.edges.end()), snap.edges.end());
+        // Drop the pre-dedup capacity: on duplicate-heavy windows the raw
+        // event count dwarfs the distinct edge count, and K windows of dead
+        // capacity would dominate peak RSS (the out-of-core scale test
+        // catches exactly this).
+        snap.edges.shrink_to_fit();
         snapshots.push_back(std::move(snap));
+        scan.consumed(i);
     }
+    scan.finish();
     return GraphSeries(stream.num_nodes(), K, delta, stream.directed(), std::move(snapshots));
 }
 

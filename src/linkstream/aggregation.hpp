@@ -29,6 +29,12 @@ constexpr WindowIndex num_windows(Time period_end, Time delta) {
 /// window is deliberately lost — that loss is precisely what the occupancy
 /// method quantifies.
 ///
+/// The pass is window-sequential (one front-to-back scan of the time-sorted
+/// events), so on an mmap-backed source (an open_natbin stream) it releases
+/// consumed pages behind itself: peak residency is the per-window working
+/// set plus a few MiB of the trace, never the trace itself.  The resulting
+/// GraphSeries is bit-identical whichever storage backs the stream.
+///
 /// Preconditions: delta >= 1.
 GraphSeries aggregate(const LinkStream& stream, Time delta);
 

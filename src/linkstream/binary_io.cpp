@@ -1,0 +1,388 @@
+#include "linkstream/binary_io.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <type_traits>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+namespace {
+
+// The zero-copy mmap path aliases the on-disk records as Events; these pin
+// down the layout it relies on.  A platform where they fail would need
+// explicit (de)serialization — the endianness fallback below handles the
+// byte order half; the layout half holds on every ABI we target.
+static_assert(sizeof(Event) == kNatbinRecordBytes);
+static_assert(alignof(Event) == 8);
+static_assert(std::is_trivially_copyable_v<Event>);
+static_assert(offsetof(Event, u) == 0);
+static_assert(offsetof(Event, v) == 4);
+static_assert(offsetof(Event, t) == 8);
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+/// Write buffer of the streaming writer: 16k events = 256 KiB per flush.
+constexpr std::size_t kWriterBufferEvents = 16 * 1024;
+
+void put_u32(std::byte* out, std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
+}
+
+void put_u64(std::byte* out, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::byte* in) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) value |= std::uint32_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+    return value;
+}
+
+std::uint64_t get_u64(const std::byte* in) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= std::uint64_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+    return value;
+}
+
+void encode_event(std::byte* out, const Event& e) {
+    if constexpr (kLittleEndian) {
+        std::memcpy(out, &e, kNatbinRecordBytes);
+    } else {
+        put_u32(out, e.u);
+        put_u32(out + 4, e.v);
+        put_u64(out + 8, static_cast<std::uint64_t>(e.t));
+    }
+}
+
+Event decode_event(const std::byte* in) {
+    if constexpr (kLittleEndian) {
+        Event e;
+        std::memcpy(&e, in, kNatbinRecordBytes);
+        return e;
+    } else {
+        return Event{get_u32(in), get_u32(in + 4),
+                     static_cast<Time>(get_u64(in + 8))};
+    }
+}
+
+struct NatbinHeader {
+    bool directed = false;
+    bool has_labels = false;
+    NodeId num_nodes = 0;
+    Time period_end = 0;
+    std::uint64_t num_events = 0;
+    std::uint64_t events_offset = 0;
+    std::uint64_t label_bytes = 0;
+};
+
+constexpr std::uint32_t kFlagDirected = 1u << 0;
+constexpr std::uint32_t kFlagLabels = 1u << 1;
+
+std::vector<std::byte> encode_header(const NatbinHeader& h) {
+    std::vector<std::byte> bytes(kNatbinHeaderBytes);
+    std::memcpy(bytes.data(), kNatbinMagic, sizeof(kNatbinMagic));
+    put_u32(bytes.data() + 8, 1);
+    put_u32(bytes.data() + 12, (h.directed ? kFlagDirected : 0u) |
+                                   (h.has_labels ? kFlagLabels : 0u));
+    put_u64(bytes.data() + 16, h.num_nodes);
+    put_u64(bytes.data() + 24, static_cast<std::uint64_t>(h.period_end));
+    put_u64(bytes.data() + 32, h.num_events);
+    put_u64(bytes.data() + 40, h.events_offset);
+    put_u64(bytes.data() + 48, h.label_bytes);
+    put_u64(bytes.data() + 56, 0);
+    return bytes;
+}
+
+/// Parses and cross-checks the fixed header against the file size.  Every
+/// arithmetic step is overflow-checked so a hostile header can never drive
+/// an out-of-bounds read.
+NatbinHeader parse_header(const std::string& path, const std::byte* data, std::size_t size) {
+    if (size < kNatbinHeaderBytes) {
+        throw io_error(path, "truncated natbin header (" + std::to_string(size) +
+                                 " bytes, need " + std::to_string(kNatbinHeaderBytes) + ")");
+    }
+    if (std::memcmp(data, kNatbinMagic, sizeof(kNatbinMagic)) != 0) {
+        throw io_error(path, "not a natbin file (bad magic)");
+    }
+    const std::uint32_t version = get_u32(data + 8);
+    if (version != 1) {
+        throw io_error(path, "unsupported natbin version " + std::to_string(version));
+    }
+    const std::uint32_t flags = get_u32(data + 12);
+    if ((flags & ~(kFlagDirected | kFlagLabels)) != 0) {
+        throw io_error(path, "unknown natbin flags");
+    }
+    NatbinHeader h;
+    h.directed = (flags & kFlagDirected) != 0;
+    h.has_labels = (flags & kFlagLabels) != 0;
+    const std::uint64_t nodes = get_u64(data + 16);
+    if (nodes > std::numeric_limits<NodeId>::max()) {
+        throw io_error(path, "node count " + std::to_string(nodes) + " exceeds NodeId range");
+    }
+    h.num_nodes = static_cast<NodeId>(nodes);
+    const std::uint64_t period = get_u64(data + 24);
+    if (period == 0 || period > std::uint64_t(std::numeric_limits<Time>::max())) {
+        throw io_error(path, "bad period_end");
+    }
+    h.period_end = static_cast<Time>(period);
+    h.num_events = get_u64(data + 32);
+    h.events_offset = get_u64(data + 40);
+    h.label_bytes = get_u64(data + 48);
+    if (get_u64(data + 56) != 0) {
+        throw io_error(path, "nonzero reserved header field");
+    }
+    if (h.label_bytes != 0 && !h.has_labels) {
+        throw io_error(path, "label bytes without label flag");
+    }
+    if (h.label_bytes > size - kNatbinHeaderBytes ||
+        h.events_offset < kNatbinHeaderBytes + h.label_bytes || h.events_offset > size ||
+        h.events_offset % kNatbinRecordBytes != 0) {
+        throw io_error(path, "bad natbin section offsets");
+    }
+    if (h.num_events > (size - h.events_offset) / kNatbinRecordBytes) {
+        throw io_error(path, "truncated natbin event records (" +
+                                 std::to_string(h.num_events) + " declared, file holds " +
+                                 std::to_string((size - h.events_offset) / kNatbinRecordBytes) +
+                                 ")");
+    }
+    if (h.events_offset + h.num_events * kNatbinRecordBytes != size) {
+        throw io_error(path, "trailing bytes after natbin event records");
+    }
+    return h;
+}
+
+std::vector<std::string> parse_labels(const std::string& path, const NatbinHeader& h,
+                                      const std::byte* data) {
+    std::vector<std::string> labels;
+    if (!h.has_labels) return labels;
+    // Cheap consistency gate before any allocation: every label costs at
+    // least its 4 length bytes, so a hostile num_nodes can never drive a
+    // huge reserve (fuzzed: a 4-billion-node header with a 15-byte table
+    // must throw here, not OOM below).
+    if (h.label_bytes / 4 < h.num_nodes) {
+        throw io_error(path, "truncated natbin label table");
+    }
+    labels.reserve(h.num_nodes);
+    const std::byte* cursor = data + kNatbinHeaderBytes;
+    std::uint64_t remaining = h.label_bytes;
+    for (NodeId i = 0; i < h.num_nodes; ++i) {
+        if (remaining < 4) throw io_error(path, "truncated natbin label table");
+        const std::uint32_t len = get_u32(cursor);
+        cursor += 4;
+        remaining -= 4;
+        if (len > remaining) throw io_error(path, "truncated natbin label table");
+        labels.emplace_back(reinterpret_cast<const char*>(cursor), len);
+        cursor += len;
+        remaining -= len;
+    }
+    if (remaining != 0) throw io_error(path, "trailing bytes in natbin label table");
+    return labels;
+}
+
+/// The sequential validation pass shared by both loaders: checks bounds,
+/// canonical endpoints and (t, u, v) sortedness of every record, releasing
+/// consumed pages behind itself (a no-op for in-memory sources).  Returns
+/// the distinct-timestamp count.
+std::size_t validate_records(const std::string& path, const NatbinHeader& h,
+                             const EventSource& source) {
+    SequentialScan scan(source);
+    const auto events = source.events();
+    std::size_t distinct = 0;
+    Event prev{0, 0, -1};
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event e = events[i];
+        if (e.u >= h.num_nodes || e.v >= h.num_nodes) {
+            throw io_error(path, "event " + std::to_string(i) + " endpoint out of range");
+        }
+        if (e.u == e.v) {
+            throw io_error(path, "event " + std::to_string(i) + " is a self-loop");
+        }
+        if (!h.directed && e.u > e.v) {
+            throw io_error(path, "event " + std::to_string(i) +
+                                     " breaks the canonical u < v endpoint order");
+        }
+        if (e.t < 0 || e.t >= h.period_end) {
+            throw io_error(path, "event " + std::to_string(i) + " timestamp out of [0, T)");
+        }
+        if (prev.t >= 0 && e < prev) {
+            throw io_error(path, "event " + std::to_string(i) + " breaks (t, u, v) sort order");
+        }
+        if (e.t != prev.t || prev.t < 0) ++distinct;
+        prev = e;
+        scan.consumed(i);
+    }
+    scan.finish();
+    return distinct;
+}
+
+}  // namespace
+
+void save_natbin(const std::string& path, const LinkStream& stream,
+                 const std::vector<std::string>& node_labels) {
+    NATSCALE_EXPECTS(node_labels.empty() || node_labels.size() >= stream.num_nodes());
+    NatbinWriter writer(path, stream.num_nodes(), stream.period_end(), stream.directed(),
+                        node_labels);
+    for (const Event& e : stream.events()) writer.append(e);
+    writer.finish();
+}
+
+NatbinWriter::NatbinWriter(const std::string& path, NodeId num_nodes, Time period_end,
+                           bool directed, const std::vector<std::string>& node_labels)
+    : path_(path), num_nodes_(num_nodes), period_end_(period_end), directed_(directed),
+      prev_{0, 0, -1} {
+    NATSCALE_EXPECTS(period_end > 0);
+    NATSCALE_EXPECTS(node_labels.empty() || node_labels.size() >= num_nodes);
+    os_.open(path, std::ios::binary | std::ios::trunc);
+    if (!os_) throw std::runtime_error("cannot open '" + path + "' for writing");
+
+    NatbinHeader h;
+    h.directed = directed;
+    h.has_labels = !node_labels.empty();
+    h.num_nodes = num_nodes;
+    h.period_end = period_end;
+    h.num_events = 0;  // patched by finish()
+    std::vector<std::byte> label_blob;
+    if (h.has_labels) {
+        for (NodeId i = 0; i < num_nodes; ++i) {
+            const std::string& label = node_labels[i];
+            std::byte len[4];
+            put_u32(len, static_cast<std::uint32_t>(label.size()));
+            label_blob.insert(label_blob.end(), len, len + 4);
+            const auto* bytes = reinterpret_cast<const std::byte*>(label.data());
+            label_blob.insert(label_blob.end(), bytes, bytes + label.size());
+        }
+    }
+    h.label_bytes = label_blob.size();
+    const std::uint64_t unpadded = kNatbinHeaderBytes + h.label_bytes;
+    h.events_offset = (unpadded + kNatbinRecordBytes - 1) / kNatbinRecordBytes *
+                      kNatbinRecordBytes;
+
+    const auto header = encode_header(h);
+    os_.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    if (!label_blob.empty()) {
+        os_.write(reinterpret_cast<const char*>(label_blob.data()),
+                  static_cast<std::streamsize>(label_blob.size()));
+    }
+    const std::uint64_t padding = h.events_offset - unpadded;
+    for (std::uint64_t i = 0; i < padding; ++i) os_.put('\0');
+    if (!os_) throw std::runtime_error("cannot write natbin header to '" + path + "'");
+    buffer_.reserve(kWriterBufferEvents);
+}
+
+NatbinWriter::~NatbinWriter() {
+    try {
+        finish();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — destructors must not throw
+    }
+}
+
+void NatbinWriter::append(const Event& event) {
+    NATSCALE_EXPECTS(!finished_);
+    if (event.u >= num_nodes_ || event.v >= num_nodes_) {
+        throw io_error(path_, "appended event endpoint out of range");
+    }
+    if (event.u == event.v) throw io_error(path_, "appended event is a self-loop");
+    if (!directed_ && event.u > event.v) {
+        throw io_error(path_, "appended event breaks the canonical u < v endpoint order");
+    }
+    if (event.t < 0 || event.t >= period_end_) {
+        throw io_error(path_, "appended event timestamp out of [0, T)");
+    }
+    if (prev_.t >= 0 && event < prev_) {
+        throw io_error(path_, "appended event breaks (t, u, v) sort order");
+    }
+    prev_ = event;
+    buffer_.push_back(event);
+    ++count_;
+    if (buffer_.size() >= kWriterBufferEvents) flush_buffer();
+}
+
+void NatbinWriter::flush_buffer() {
+    if (buffer_.empty()) return;
+    if constexpr (kLittleEndian) {
+        os_.write(reinterpret_cast<const char*>(buffer_.data()),
+                  static_cast<std::streamsize>(buffer_.size() * kNatbinRecordBytes));
+    } else {
+        std::vector<std::byte> encoded(buffer_.size() * kNatbinRecordBytes);
+        for (std::size_t i = 0; i < buffer_.size(); ++i) {
+            encode_event(encoded.data() + i * kNatbinRecordBytes, buffer_[i]);
+        }
+        os_.write(reinterpret_cast<const char*>(encoded.data()),
+                  static_cast<std::streamsize>(encoded.size()));
+    }
+    buffer_.clear();
+}
+
+void NatbinWriter::finish() {
+    if (finished_) return;
+    finished_ = true;
+    flush_buffer();
+    // Patch num_events (offset 32) now that it is known.
+    std::byte patch[8];
+    put_u64(patch, count_);
+    os_.seekp(32);
+    os_.write(reinterpret_cast<const char*>(patch), sizeof(patch));
+    os_.flush();
+    if (!os_) throw std::runtime_error("cannot finalize natbin file '" + path_ + "'");
+    os_.close();
+}
+
+namespace {
+
+LoadedStream load_impl(const std::string& path, bool prefer_mmap) {
+    auto file = std::make_shared<const MappedFile>(MappedFile::open(path));
+    const NatbinHeader h = parse_header(path, file->data(), file->size());
+    std::vector<std::string> labels = parse_labels(path, h, file->data());
+    if (h.num_events == 0) throw std::runtime_error(path + ": no events");
+
+    const bool zero_copy = prefer_mmap && kLittleEndian && file->is_mapped();
+
+    EventSource source;
+    if (zero_copy) {
+        source = EventSource::mapped(file, h.events_offset,
+                                     static_cast<std::size_t>(h.num_events));
+    } else {
+        const std::byte* records = file->data() + h.events_offset;
+        file->advise_sequential(h.events_offset, h.num_events * kNatbinRecordBytes);
+        std::vector<Event> events(static_cast<std::size_t>(h.num_events));
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            events[i] = decode_event(records + i * kNatbinRecordBytes);
+        }
+        source = EventSource::owning(std::move(events));
+    }
+    const std::size_t distinct = validate_records(path, h, source);
+    return {LinkStream::from_source(std::move(source), h.num_nodes, h.period_end, h.directed,
+                                    distinct),
+            std::move(labels)};
+}
+
+}  // namespace
+
+LoadedStream open_natbin(const std::string& path) { return load_impl(path, true); }
+
+LoadedStream load_natbin(const std::string& path) { return load_impl(path, false); }
+
+StreamFormat detect_stream_format(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open '" + path + "'");
+    char magic[sizeof(kNatbinMagic)] = {};
+    is.read(magic, sizeof(magic));
+    if (is.gcount() == sizeof(magic) && std::memcmp(magic, kNatbinMagic, sizeof(magic)) == 0) {
+        return StreamFormat::natbin;
+    }
+    return StreamFormat::text;
+}
+
+LoadedStream load_stream_auto(const std::string& path, const LoadOptions& options) {
+    return detect_stream_format(path) == StreamFormat::natbin ? open_natbin(path)
+                                                              : load_link_stream(path, options);
+}
+
+}  // namespace natscale

@@ -1,0 +1,122 @@
+// The .natbin compact binary link-stream format, and its mmap-able loader.
+//
+// Text loading a 10^8-event trace costs one parse + relabel pass and a
+// transient spike of allocator churn every single run; natbin stores the
+// already-canonical form of a LinkStream so reopening it is O(1) metadata
+// plus (lazily paged) raw records:
+//
+//   offset  size  field
+//   0       8     magic "NATBIN01"
+//   8       4     version (u32 LE) = 1
+//   12      4     flags (u32 LE): bit 0 directed, bit 1 has label table
+//   16      8     num_nodes (u64 LE)
+//   24      8     period_end T (i64 LE), > 0
+//   32      8     num_events (u64 LE)
+//   40      8     events_offset (u64 LE), 16-aligned, >= 64 + label bytes
+//   48      8     label_bytes (u64 LE; 0 when bit 1 of flags is clear)
+//   56      8     reserved, must be 0
+//   64      ...   label table: num_nodes strings, each u32 LE length + bytes
+//   ...     ...   zero padding up to events_offset
+//   events_offset num_events * 16   event records
+//
+// One record is 16 bytes little-endian: u (u32), v (u32), t (i64) — exactly
+// the in-memory Event layout on little-endian hosts, so the mmap loader
+// reinterprets the mapping in place (zero copy).  Records are written in
+// the canonical LinkStream order — (t, u, v) ascending, endpoints u < v for
+// undirected streams — and the loader verifies that invariant (plus all
+// bounds) in one sequential pass that releases pages behind itself, so
+// opening a multi-GB trace never holds more than a sliding window resident.
+//
+// All malformed-input paths (wrong magic, short header, truncated records,
+// label table overruns, order violations) throw io_error; nothing is ever
+// read out of bounds (fuzzed in tests/test_binary_io.cpp under ASan).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "linkstream/io.hpp"
+#include "linkstream/link_stream.hpp"
+
+namespace natscale {
+
+inline constexpr char kNatbinMagic[8] = {'N', 'A', 'T', 'B', 'I', 'N', '0', '1'};
+inline constexpr std::size_t kNatbinHeaderBytes = 64;
+inline constexpr std::size_t kNatbinRecordBytes = 16;
+
+/// Writes `stream` (with an optional label table) as .natbin.
+/// Precondition: node_labels empty or >= num_nodes entries.
+void save_natbin(const std::string& path, const LinkStream& stream,
+                 const std::vector<std::string>& node_labels = {});
+
+/// Maps the file and wraps it as an mmap-backed LinkStream: O(file) bytes of
+/// address space, O(sliding window) resident.  One sequential pass validates
+/// every record (bounds, canonical endpoints, (t, u, v) order) and counts
+/// distinct timestamps; it releases pages behind itself.  On big-endian
+/// hosts (where the records cannot be aliased in place) this degrades to
+/// load_natbin.  Throws io_error on malformed files, std::runtime_error on
+/// unopenable or empty-stream files.
+LoadedStream open_natbin(const std::string& path);
+
+/// Reads the whole file into an owned in-memory LinkStream (works on any
+/// endianness).  Same validation and errors as open_natbin.
+LoadedStream load_natbin(const std::string& path);
+
+/// Streaming writer for traces too large to materialize as a LinkStream
+/// (format conversion pipelines, the out-of-core scale tests).  Events must
+/// be appended in canonical order; finish() patches the event count into
+/// the header.
+class NatbinWriter {
+public:
+    /// Opens `path` for writing and emits the header + label table.
+    /// Preconditions: period_end > 0; node_labels empty or >= num_nodes
+    /// entries.
+    NatbinWriter(const std::string& path, NodeId num_nodes, Time period_end, bool directed,
+                 const std::vector<std::string>& node_labels = {});
+
+    /// Destructor finishes the file if finish() was not called (errors are
+    /// swallowed there — call finish() to observe them).
+    ~NatbinWriter();
+    NatbinWriter(const NatbinWriter&) = delete;
+    NatbinWriter& operator=(const NatbinWriter&) = delete;
+
+    /// Appends one event.  Throws io_error when the event is out of bounds,
+    /// non-canonical (u >= v on an undirected stream), or out of (t, u, v)
+    /// order with respect to the previous append.
+    void append(const Event& event);
+
+    std::uint64_t events_written() const noexcept { return count_; }
+
+    /// Flushes buffered records and patches num_events into the header.
+    /// Throws std::runtime_error on write failure.  Idempotent.
+    void finish();
+
+private:
+    void flush_buffer();
+
+    std::string path_;
+    std::ofstream os_;
+    NodeId num_nodes_ = 0;
+    Time period_end_ = 0;
+    bool directed_ = false;
+    bool finished_ = false;
+    std::uint64_t count_ = 0;
+    Event prev_{};
+    std::vector<Event> buffer_;
+};
+
+/// Supported on-disk stream encodings.
+enum class StreamFormat { text, natbin };
+
+/// Sniffs the first bytes of `path` for the natbin magic; anything else is
+/// text.  Throws std::runtime_error when the file cannot be opened.
+StreamFormat detect_stream_format(const std::string& path);
+
+/// Loads either format: natbin through the mmap-backed open_natbin, text
+/// through load_link_stream.  `options` applies to text only (a natbin file
+/// already fixes directedness, node universe and period).
+LoadedStream load_stream_auto(const std::string& path, const LoadOptions& options = {});
+
+}  // namespace natscale

@@ -1,0 +1,42 @@
+#include "linkstream/event_source.hpp"
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+EventSource EventSource::owning(std::vector<Event> events) {
+    EventSource source;
+    source.owned_ = std::make_shared<const std::vector<Event>>(std::move(events));
+    source.span_ = std::span<const Event>(source.owned_->data(), source.owned_->size());
+    return source;
+}
+
+EventSource EventSource::mapped(std::shared_ptr<const MappedFile> file, std::size_t byte_offset,
+                                std::size_t count) {
+    NATSCALE_EXPECTS(file != nullptr);
+    NATSCALE_EXPECTS(byte_offset % alignof(Event) == 0);
+    NATSCALE_EXPECTS(byte_offset + count * sizeof(Event) <= file->size());
+    EventSource source;
+    source.file_ = std::move(file);
+    source.byte_offset_ = byte_offset;
+    // The natbin record layout is exactly the in-memory Event layout on
+    // little-endian hosts (static_asserts in linkstream/binary_io.cpp), so
+    // the mapping is reinterpreted in place — the canonical mmap idiom.
+    source.span_ = std::span<const Event>(
+        reinterpret_cast<const Event*>(source.file_->data() + byte_offset), count);
+    return source;
+}
+
+void EventSource::advise_sequential() const noexcept {
+    if (file_ != nullptr) {
+        file_->advise_sequential(byte_offset_, span_.size() * sizeof(Event));
+    }
+}
+
+void EventSource::release_until(std::size_t end_event) const noexcept {
+    if (file_ != nullptr && end_event > 0) {
+        file_->release(byte_offset_, std::min(end_event, span_.size()) * sizeof(Event));
+    }
+}
+
+}  // namespace natscale

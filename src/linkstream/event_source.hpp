@@ -1,0 +1,99 @@
+// EventSource: where a link stream's event array physically lives.
+//
+// Every algorithm in the library consumes events through the
+// std::span<const Event> a LinkStream exposes; EventSource is the storage
+// behind that span.  Two kinds exist:
+//
+//   * in-memory — an owned std::vector<Event> (the classic path: text
+//     loader, generators, slices).  Cheap random access, resident by
+//     definition;
+//   * mmap-backed — a window into a memory-mapped .natbin file
+//     (linkstream/binary_io).  The span points straight into the mapping
+//     (zero copy); sequential consumers call release_until() behind their
+//     scan so a multi-GB trace never holds more than a sliding window of
+//     pages resident.
+//
+// Copies share storage (shared_ptr), so passing LinkStreams around never
+// duplicates a trace.  Consumers that only ever walk events front to back
+// (linkstream/aggregation's window pipeline) check memory_resident() and
+// emit the paging hints; everyone else just reads the span.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linkstream/event.hpp"
+#include "util/mmap_file.hpp"
+
+namespace natscale {
+
+class EventSource {
+public:
+    /// Empty source (no events).
+    EventSource() = default;
+
+    /// Takes ownership of an in-memory event array.
+    static EventSource owning(std::vector<Event> events);
+
+    /// Wraps `count` events starting `byte_offset` bytes into the mapped
+    /// file.  Preconditions: the range lies inside the file and
+    /// byte_offset is Event-aligned (natbin guarantees 16-byte alignment).
+    static EventSource mapped(std::shared_ptr<const MappedFile> file, std::size_t byte_offset,
+                              std::size_t count);
+
+    std::span<const Event> events() const noexcept { return span_; }
+    std::size_t size() const noexcept { return span_.size(); }
+
+    /// True when the events are plain RAM (owned vector, or a mapping that
+    /// degraded to the heap-buffer fallback).  False only for real mmap
+    /// backing — the case where the paging hints below do anything and
+    /// out-of-core consumers should prefer sequential access.
+    bool memory_resident() const noexcept { return file_ == nullptr || !file_->is_mapped(); }
+
+    /// Readahead hint for a front-to-back scan of the whole source.
+    void advise_sequential() const noexcept;
+
+    /// Hints that events [0, end_event) will not be touched again by this
+    /// scan: drops their resident pages for mmap sources (no-op in memory).
+    /// Data stays valid — a later access refaults from the page cache.
+    void release_until(std::size_t end_event) const noexcept;
+
+private:
+    std::shared_ptr<const std::vector<Event>> owned_;
+    std::shared_ptr<const MappedFile> file_;
+    std::size_t byte_offset_ = 0;
+    std::span<const Event> span_;
+};
+
+/// The release-behind cadence of a front-to-back scan, shared by every
+/// sequential consumer (aggregation's window pipeline, the natbin
+/// validation pass): advises sequential access up front, then drops
+/// consumed pages every ~4 MiB.  All calls are no-ops on memory-resident
+/// sources, so callers use it unconditionally.
+class SequentialScan {
+public:
+    explicit SequentialScan(const EventSource& source) : source_(&source) {
+        source.advise_sequential();
+    }
+
+    /// Marks events [0, end_event) consumed.
+    void consumed(std::size_t end_event) {
+        if (end_event - released_ >= kChunkEvents) {
+            source_->release_until(end_event);
+            released_ = end_event;
+        }
+    }
+
+    /// Marks the whole source consumed.
+    void finish() { source_->release_until(source_->size()); }
+
+private:
+    /// Drop granularity: ~4 MiB of records.
+    static constexpr std::size_t kChunkEvents = (std::size_t{4} << 20) / sizeof(Event);
+
+    const EventSource* source_;
+    std::size_t released_ = 0;
+};
+
+}  // namespace natscale

@@ -23,6 +23,12 @@ public:
     io_error(const std::string& path, std::size_t line, const std::string& what)
         : std::runtime_error(path + ":" + std::to_string(line) + ": " + what),
           line_number(line) {}
+
+    /// For formats without meaningful line numbers (the binary natbin
+    /// loader, linkstream/binary_io); line_number is 0.
+    io_error(const std::string& path, const std::string& what)
+        : std::runtime_error(path + ": " + what), line_number(0) {}
+
     std::size_t line_number;
 };
 

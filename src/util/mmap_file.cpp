@@ -1,0 +1,128 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NATSCALE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace natscale {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* op) {
+    throw std::runtime_error("cannot " + std::string(op) + " '" + path + "': " +
+                             std::strerror(errno));
+}
+
+#ifdef NATSCALE_HAVE_MMAP
+std::size_t page_size() noexcept {
+    static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return size;
+}
+#endif
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+    MappedFile file;
+#ifdef NATSCALE_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (fd < 0) fail(path, "open");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail(path, "stat");
+    }
+    file.size_ = static_cast<std::size_t>(st.st_size);
+    if (file.size_ > 0) {
+        // MAP_PRIVATE + PROT_READ: pages are clean and evictable, and
+        // release() below may drop them at will — they refault from the
+        // page cache on the next access.
+        void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr == MAP_FAILED) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            fail(path, "mmap");
+        }
+        file.data_ = static_cast<const std::byte*>(addr);
+        file.mapped_ = true;
+    }
+    ::close(fd);  // the mapping keeps its own reference
+#else
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) throw std::runtime_error("cannot open '" + path + "'");
+    const auto end = is.tellg();
+    if (end < 0) throw std::runtime_error("cannot stat '" + path + "'");
+    file.fallback_.resize(static_cast<std::size_t>(end));
+    is.seekg(0);
+    if (!file.fallback_.empty() &&
+        !is.read(reinterpret_cast<char*>(file.fallback_.data()),
+                 static_cast<std::streamsize>(file.fallback_.size()))) {
+        throw std::runtime_error("cannot read '" + path + "'");
+    }
+    file.data_ = file.fallback_.data();
+    file.size_ = file.fallback_.size();
+#endif
+    return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this == &other) return *this;
+#ifdef NATSCALE_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+    return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef NATSCALE_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<std::byte*>(data_), size_);
+#endif
+}
+
+void MappedFile::advise_sequential([[maybe_unused]] std::size_t offset,
+                                   [[maybe_unused]] std::size_t length) const noexcept {
+#ifdef NATSCALE_HAVE_MMAP
+    if (!mapped_ || length == 0 || offset >= size_) return;
+    const std::size_t page = page_size();
+    const std::size_t begin = offset / page * page;
+    const std::size_t end = std::min(size_, offset + length);
+    ::posix_madvise(const_cast<std::byte*>(data_) + begin, end - begin,
+                    POSIX_MADV_SEQUENTIAL);
+#endif
+}
+
+void MappedFile::release([[maybe_unused]] std::size_t offset,
+                         [[maybe_unused]] std::size_t length) const noexcept {
+#ifdef NATSCALE_HAVE_MMAP
+    if (!mapped_ || offset >= size_) return;
+    const std::size_t page = page_size();
+    // Shrink to whole pages: keep boundary pages that also hold live bytes.
+    const std::size_t begin = (offset + page - 1) / page * page;
+    const std::size_t end = std::min(size_, offset + length) / page * page;
+    if (begin >= end) return;
+    ::madvise(const_cast<std::byte*>(data_) + begin, end - begin, MADV_DONTNEED);
+#endif
+}
+
+}  // namespace natscale

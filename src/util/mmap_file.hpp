@@ -1,0 +1,62 @@
+// Read-only memory-mapped files (POSIX mmap; heap-buffer fallback elsewhere).
+//
+// The out-of-core link-stream pipeline (linkstream/binary_io,
+// linkstream/event_source) maps multi-GB .natbin traces instead of reading
+// them into RAM; page residency is then a kernel concern, and the two hints
+// below let sequential consumers keep the peak RSS at a small sliding
+// window of the file:
+//
+//   * advise_sequential()  — readahead hint (posix_madvise SEQUENTIAL);
+//   * release(off, len)    — "done with these bytes": drops the resident
+//                            pages of the fully-covered page range
+//                            (madvise DONTNEED on the read-only private
+//                            mapping; a later access refaults from the page
+//                            cache, it never re-reads garbage).
+//
+// On platforms without mmap the whole file is read into an owned buffer and
+// both hints are no-ops; is_mapped() lets callers distinguish (the scale
+// tests skip their RSS bounds in that case, nothing else cares).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace natscale {
+
+class MappedFile {
+public:
+    /// Maps `path` read-only.  Throws std::runtime_error when the file
+    /// cannot be opened, stat'ed or mapped.  Empty files yield data() ==
+    /// nullptr, size() == 0.
+    static MappedFile open(const std::string& path);
+
+    MappedFile() = default;
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    ~MappedFile();
+
+    const std::byte* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+
+    /// True when backed by a real mapping (false: heap-buffer fallback).
+    bool is_mapped() const noexcept { return mapped_; }
+
+    /// Hints that [offset, offset + length) will be read front to back.
+    void advise_sequential(std::size_t offset, std::size_t length) const noexcept;
+
+    /// Drops the resident pages fully inside [offset, offset + length);
+    /// partial boundary pages are kept, so surrounding data stays valid.
+    void release(std::size_t offset, std::size_t length) const noexcept;
+
+private:
+    const std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<std::byte> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace natscale

@@ -6,10 +6,14 @@
 #include <fstream>
 
 #include "linkstream/io.hpp"
+#include "testing/temp_files.hpp"
 #include "util/proc_rss.hpp"
 
 namespace natscale {
 namespace {
+
+using testing::temp_path;
+using testing::write_temp;
 
 TEST(ParseLinkStream, BasicTriples) {
     const auto loaded = parse_link_stream("0 1 10\n1 2 20\n");
@@ -96,8 +100,7 @@ TEST(LoadLinkStream, MissingFileFails) {
 }
 
 TEST(SaveLoadRoundtrip, PreservesEvents) {
-    const auto dir = std::filesystem::temp_directory_path();
-    const auto path = (dir / "natscale_io_roundtrip.txt").string();
+    const auto path = temp_path("natscale_io_roundtrip.txt");
 
     const auto original = parse_link_stream("3 9 100\n9 4 50\n3 4 75\n");
     save_link_stream(path, original.stream, original.node_labels);
@@ -132,13 +135,6 @@ constexpr const char* kMessyFile =
     "\n"
     "carol carol 25\n"  // self-loop, skipped by default
     "alice carol 30\r\n";
-
-std::string write_temp(const std::string& name, const std::string& content) {
-    const auto path = (std::filesystem::temp_directory_path() / name).string();
-    std::ofstream os(path, std::ios::binary);  // binary: keep \r\n verbatim
-    os << content;
-    return path;
-}
 
 TEST(LoadLinkStream, StreamingLoaderMatchesStringParser) {
     // The line-streaming file loader must produce a byte-identical
@@ -189,8 +185,7 @@ TEST(LoadLinkStream, SelfLoopRejectedWithLineNumberWhenNotSkipping) {
 }
 
 TEST(SaveLoadRoundtrip, LabeledEventsSurviveExactly) {
-    const auto path =
-        (std::filesystem::temp_directory_path() / "natscale_io_labeled.txt").string();
+    const auto path = temp_path("natscale_io_labeled.txt");
 
     const auto original = parse_link_stream("alice bob 100\nbob carol 50\nalice carol 75\n");
     save_link_stream(path, original.stream, original.node_labels);
@@ -219,14 +214,6 @@ TEST(SaveLoadRoundtrip, LabeledEventsSurviveExactly) {
     }
 }
 
-#if defined(__has_feature)
-#if __has_feature(address_sanitizer)
-#define NATSCALE_ASAN 1
-#endif
-#elif defined(__SANITIZE_ADDRESS__)
-#define NATSCALE_ASAN 1
-#endif
-
 TEST(LoadLinkStream, StreamsLargeFilesWithoutBufferingThemWhole) {
     // Regression for the triple-copy loader: the pre-streaming
     // load_link_stream read the whole file into an ostringstream, copied it
@@ -243,9 +230,7 @@ TEST(LoadLinkStream, StreamsLargeFilesWithoutBufferingThemWhole) {
 #endif
     auto peak_rss_bytes = [] { return peak_rss_mib() * 1024.0 * 1024.0; };
 
-    const auto path = (std::filesystem::temp_directory_path() /
-                       "natscale_io_large_stream.txt")
-                          .string();
+    const auto path = temp_path("natscale_io_large_stream.txt");
     double file_size = 0.0;
     {
         std::ofstream os(path);
@@ -272,8 +257,7 @@ TEST(LoadLinkStream, StreamsLargeFilesWithoutBufferingThemWhole) {
 }
 
 TEST(SaveLoadRoundtrip, DenseIdsWhenNoLabels) {
-    const auto dir = std::filesystem::temp_directory_path();
-    const auto path = (dir / "natscale_io_dense.txt").string();
+    const auto path = temp_path("natscale_io_dense.txt");
     LinkStream stream({{0, 1, 5}}, 2, 10);
     save_link_stream(path, stream);
     const auto reloaded = load_link_stream(path);
