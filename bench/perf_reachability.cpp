@@ -12,12 +12,21 @@
 // trips, the exact per-backend state size, and the RSS grown while the
 // point ran as counters, so the crossover curve can be plotted straight
 // from the JSON artifact.
+//
+// A second artifact, BENCH_kernel.json, comes from the PackedVsLegacy and
+// ColumnScaling suites (`--benchmark_filter=PackedVsLegacy|ColumnScaling`):
+// the packed 8 B/pair kernel against the retired 12 B scalar kernel on the
+// same workloads, and the intra-scan column-parallel occupancy histogram at
+// 1/2/4/8 scan threads.  CI uploads both from the Release leg — the
+// in-repo perf trajectory of the dense hot path.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 
 #include "core/occupancy.hpp"
 #include "linkstream/aggregation.hpp"
+#include "temporal/column_shards.hpp"
+#include "temporal/legacy_reachability.hpp"
 #include "temporal/reachability_backend.hpp"
 #include "util/proc_rss.hpp"
 #include "util/rng.hpp"
@@ -133,8 +142,8 @@ void BM_DenseVsSparse_Dense(benchmark::State& state) {
     state.counters["n"] = static_cast<double>(n);
     state.counters["M"] = static_cast<double>(series.total_edges());
     state.counters["trips"] = static_cast<double>(trips);
-    state.counters["state_MiB"] =
-        static_cast<double>(n) * static_cast<double>(n) * 12.0 / (1024.0 * 1024.0);
+    state.counters["state_MiB"] = static_cast<double>(n) * static_cast<double>(n) *
+                                  static_cast<double>(kDensePairBytes) / (1024.0 * 1024.0);
     // RSS grown while this point ran (series + engine state; approximate —
     // allocator reuse across points undercounts).  state_MiB is the exact
     // per-backend number; process-lifetime VmHWM would be useless here, as
@@ -165,6 +174,70 @@ void BM_DenseVsSparse_Sparse(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseVsSparse_Sparse)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
     ->Unit(benchmark::kMillisecond);
+
+/// Packed vs legacy kernel on the crossover workload: the identical series
+/// scan through the packed 8 B/pair engine and the retired 12 B scalar
+/// reference.  Compare the two curves point by point; the acceptance bar of
+/// the packing PR is >= 1.5x single-thread at n = 2048.
+void BM_PackedVsLegacy_Packed(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    const auto series = crossover_series(n);
+    TemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    state.counters["state_MiB"] = static_cast<double>(n) * static_cast<double>(n) *
+                                  static_cast<double>(kDensePairBytes) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_PackedVsLegacy_Packed)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PackedVsLegacy_Legacy(benchmark::State& state) {
+    const NodeId n = static_cast<NodeId>(state.range(0));
+    const auto series = crossover_series(n);
+    LegacyTemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    state.counters["state_MiB"] =
+        static_cast<double>(n) * static_cast<double>(n) * 12.0 / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_PackedVsLegacy_Legacy)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+/// Intra-scan thread scaling: the full occupancy histogram of the n = 2048
+/// crossover series through the column-sharded parallel scan at 1/2/4/8
+/// scan threads.  The result is bit-identical at every point (enforced by
+/// tests/test_scan_parallel.cpp); this measures only the wall-clock curve.
+void BM_ColumnScaling_OccupancyHistogram(benchmark::State& state) {
+    const auto scan_threads = static_cast<std::size_t>(state.range(0));
+    const auto series = crossover_series(2048);
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        const auto hist =
+            occupancy_histogram(series, Histogram01::kDefaultBins,
+                                ReachabilityBackend::dense, scan_threads);
+        total = hist.total();
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["scan_threads"] = static_cast<double>(scan_threads);
+    state.counters["trips"] = static_cast<double>(total);
+    state.counters["shards"] = static_cast<double>(column_shards(2048).size());
+}
+BENCHMARK(BM_ColumnScaling_OccupancyHistogram)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// One full occupancy-histogram evaluation (aggregate + scan + bin).
 void BM_OccupancyHistogram(benchmark::State& state) {

@@ -4,7 +4,8 @@
 //
 // Usage:
 //   find_time_scale <stream-file> [--directed] [--metric=mk|stddev|shannon|cre]
-//                   [--points=N] [--threads=N] [--backend=auto|dense|sparse]
+//                   [--points=N] [--threads=N] [--scan-threads=N]
+//                   [--backend=auto|dense|sparse]
 //                   [--format=auto|text|natbin]
 //                   [--curve] [--dat=prefix] [--json] [--segments]
 //   find_time_scale convert <input> <output> [--directed]
@@ -42,7 +43,7 @@ void usage() {
     std::fprintf(stderr,
                  "usage: find_time_scale <stream-file> [--directed]\n"
                  "                       [--metric=mk|stddev|shannon|cre]\n"
-                 "                       [--points=N] [--threads=N]\n"
+                 "                       [--points=N] [--threads=N] [--scan-threads=N]\n"
                  "                       [--backend=auto|dense|sparse]\n"
                  "                       [--format=auto|text|natbin] [--curve]\n"
                  "                       [--dat=prefix] [--json] [--segments]\n"
@@ -195,6 +196,12 @@ int main(int argc, char** argv) {
             // The Delta grid is swept in parallel; the result is identical
             // for every thread count (0 = all hardware threads).
             options.num_threads = parse_count(arg, 10);
+        } else if (arg.rfind("--scan-threads=", 0) == 0) {
+            // Intra-scan column parallelism for the narrow refinement grids
+            // (1 = off; any other value enables it, with total concurrency
+            // still capped by --threads); gamma and the curve are identical
+            // for every value.
+            options.scan_threads = parse_count(arg, 15);
         } else if (arg.rfind("--backend=", 0) == 0) {
             // Reachability storage: auto picks dense or sparse per scan from
             // n and event density; the result is identical either way.

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -13,6 +14,7 @@
 #include "linkstream/aggregation.hpp"
 #include "temporal/minimal_trip.hpp"
 #include "temporal/reachability_backend.hpp"
+#include "temporal/sharded_scan.hpp"
 #include "util/contracts.hpp"
 
 namespace natscale {
@@ -155,7 +157,14 @@ GraphSeries DeltaSweepEngine::aggregate(Time delta) const {
 }
 
 ThreadPool& DeltaSweepEngine::pool() {
-    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    if (pool_ == nullptr) {
+        // num_threads is THE concurrency (and therefore memory) cap: one
+        // dense engine is cloned per pool worker, so the pool is never
+        // widened beyond it.  scan_threads only changes how the work is
+        // decomposed — the shard tasks of the narrow-grid path share this
+        // same pool.
+        pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
     return *pool_;
 }
 
@@ -168,7 +177,15 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
     if (grid.empty()) return points;
 
     ThreadPool& workers = pool();
-    // One reusable reachability engine per worker: its state (dense tables
+    if (options_.scan_threads != 1 && grid.size() < workers.concurrency()) {
+        // Narrow grid: whole-period tasks alone cannot keep the pool busy,
+        // so split the dense scans by destination column.  Bit-identical to
+        // the outer path (the shard partition is a function of n, partials
+        // merge in fixed ascending order, and the accumulators are
+        // split-invariant).
+        return evaluate_sharded(grid, histograms_out, workers);
+    }
+    // One reusable reachability engine per worker: its state (dense table
     // or sparse rows, per the selected backend) is allocated on the worker's
     // first period and reused for every later one.
     std::vector<ReachabilityEngine> engines(workers.concurrency());
@@ -189,6 +206,52 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
         point.occupancy_mean = hist.mean();
         if (histograms_out != nullptr) (*histograms_out)[index] = std::move(hist);
     });
+    return points;
+}
+
+std::vector<DeltaPoint> DeltaSweepEngine::evaluate_sharded(
+    std::span<const Time> grid, std::vector<Histogram01>* histograms_out,
+    ThreadPool& workers) {
+    // 1. Materialize every period's series (they are all needed at once and
+    //    the grid is narrow, so the footprint is bounded).
+    std::vector<std::optional<GraphSeries>> series(grid.size());
+    workers.parallel_for(grid.size(),
+                         [&](std::size_t index) { series[index].emplace(aggregate(grid[index])); });
+    std::vector<const GraphSeries*> series_ptrs(grid.size());
+    for (std::size_t g = 0; g < grid.size(); ++g) series_ptrs[g] = &*series[g];
+
+    // 2. Plan + fan out through the shared sharded-scan driver
+    //    (temporal/sharded_scan.hpp): dense scans split per column shard,
+    //    sparse ones stay whole, each task writing its own histogram
+    //    partial.
+    ReachabilityOptions scan_options;
+    scan_options.backend = options_.backend;
+    const ShardedScanPlan plan = plan_sharded_scans(series_ptrs, scan_options);
+    std::vector<Histogram01> partials(plan.tasks.size(),
+                                      Histogram01(options_.histogram_bins));
+    run_sharded_scans(workers, series_ptrs, plan, scan_options,
+                      sharded_scan_workers(options_.scan_threads, grid.size()),
+                      [&](std::size_t task, const GraphSeries&) {
+                          Histogram01& hist = partials[task];
+                          return [&hist](const MinimalTrip& trip) {
+                              hist.add(series_occupancy(trip));
+                          };
+                      });
+
+    // 3. Merge each period's partials in ascending shard order and score.
+    std::vector<DeltaPoint> points(grid.size());
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+        Histogram01 hist = std::move(partials[plan.first_task[g]]);
+        for (std::size_t t = plan.first_task[g] + 1; t < plan.first_task[g + 1]; ++t) {
+            hist.merge(partials[t]);
+        }
+        DeltaPoint& point = points[g];
+        point.delta = grid[g];
+        point.scores = compute_all_metrics(hist, options_.shannon_slots);
+        point.num_trips = hist.total();
+        point.occupancy_mean = hist.mean();
+        if (histograms_out != nullptr) (*histograms_out)[g] = std::move(hist);
+    }
     return points;
 }
 

@@ -65,6 +65,19 @@ struct DeltaSweepOptions {
     /// fully sequential (no pool threads are spawned).
     std::size_t num_threads = 0;
 
+    /// Intra-scan column parallelism (temporal/column_shards): any value
+    /// other than 1 (the default) lets evaluate() decompose the dense scans
+    /// of a narrow Delta grid — one narrower than the pool, which
+    /// whole-period tasks alone cannot keep busy — into per-column-shard
+    /// tasks, fanned out over at most scan_threads workers (0 = hardware
+    /// concurrency) of the SAME num_threads-wide pool.  num_threads stays
+    /// THE overall concurrency (and engine-memory) cap, so with
+    /// num_threads == 1 this option is inert.  Results are bit-identical
+    /// for every (num_threads, scan_threads) combination: the shard
+    /// structure depends on n alone, partials merge in fixed ascending
+    /// order, and the histogram accumulators are split-invariant.
+    std::size_t scan_threads = 1;
+
     /// Reachability backend of the per-Delta scans.  `automatic` picks dense
     /// or sparse from n and event density (temporal/reachability_backend);
     /// the evaluated points are bit-identical either way, but the sparse
@@ -148,6 +161,12 @@ public:
 private:
     ThreadPool& pool();
     void build_pair_index();
+
+    /// The narrow-grid path of evaluate(): dense per-Delta scans split into
+    /// column-shard tasks, sparse ones kept whole, all fanned out together.
+    std::vector<DeltaPoint> evaluate_sharded(std::span<const Time> grid,
+                                             std::vector<Histogram01>* histograms_out,
+                                             ThreadPool& workers);
 
     const LinkStream* stream_;
     DeltaSweepOptions options_;

@@ -24,9 +24,17 @@ namespace natscale {
 /// backend is selected automatically from n and event density unless forced
 /// (see temporal/reachability_backend.hpp); the histogram is bit-identical
 /// either way.
+///
+/// `scan_threads` enables intra-scan column parallelism for dense scans
+/// (temporal/column_shards): 1 (default) scans sequentially, 0 uses the
+/// hardware concurrency, N fans the fixed column shards out over up to N
+/// threads.  The histogram — bins and moments — is bit-identical for every
+/// value (the shard partition depends on n alone and the accumulators are
+/// split-invariant); sparse scans ignore the setting.
 Histogram01 occupancy_histogram(const GraphSeries& series,
                                 std::size_t num_bins = Histogram01::kDefaultBins,
-                                ReachabilityBackend backend = ReachabilityBackend::automatic);
+                                ReachabilityBackend backend = ReachabilityBackend::automatic,
+                                std::size_t scan_threads = 1);
 
 /// Aggregates the stream at `delta` and computes the occupancy histogram.
 /// Aggregation is window-sequential (linkstream/aggregation), so an
@@ -35,7 +43,8 @@ Histogram01 occupancy_histogram(const GraphSeries& series,
 /// in-memory path.
 Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
                                 std::size_t num_bins = Histogram01::kDefaultBins,
-                                ReachabilityBackend backend = ReachabilityBackend::automatic);
+                                ReachabilityBackend backend = ReachabilityBackend::automatic,
+                                std::size_t scan_threads = 1);
 
 /// Exact sample-storing variant for small series and for the tests.
 EmpiricalDistribution occupancy_distribution(

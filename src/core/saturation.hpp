@@ -52,6 +52,16 @@ struct SaturationOptions {
     /// for every thread count (see core/delta_sweep).
     std::size_t num_threads = 0;
 
+    /// Intra-scan column parallelism (temporal/column_shards) for the grids
+    /// that are too narrow to saturate the pool with whole-period tasks —
+    /// typically the linear refinement rounds, which evaluate only the 3-8
+    /// periods missing around the running optimum.  1 = disabled (default);
+    /// any other value enables the decomposition, whose tasks share the
+    /// num_threads-wide pool (num_threads remains the concurrency cap).
+    /// gamma, the curve, and the gamma histogram are bit-identical for
+    /// every value (see core/delta_sweep).
+    std::size_t scan_threads = 1;
+
     /// Reachability backend of the per-Delta scans; `automatic` picks dense
     /// or sparse from n and event density.  gamma, the curve, and the gamma
     /// histogram are bit-identical for every choice.

@@ -1,8 +1,12 @@
 #include "core/validation.hpp"
 
+#include <optional>
+
 #include "core/delta_sweep.hpp"
 #include "linkstream/aggregation.hpp"
+#include "stats/exact_sum.hpp"
 #include "temporal/reachability_backend.hpp"
+#include "temporal/sharded_scan.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -27,6 +31,52 @@ std::vector<LostTransitionPoint> lost_transitions_curve(const LinkStream& stream
 
 namespace {
 
+/// Per-scan (or per column shard) elongation partial.  The sum is exact and
+/// order-independent (stats/exact_sum.hpp), so merging shard partials — in
+/// any order — reproduces the unsharded accumulation bit-for-bit.
+struct ElongationPartial {
+    ExactSum sum;
+    std::uint64_t measured = 0;
+};
+
+/// Adds one minimal trip's elongation term; shared by the sequential and
+/// column-sharded paths so both accumulate the identical quantity.
+void accumulate_elongation(const MinimalTrip& trip, Time delta, const StreamTripStore& store,
+                           ElongationPartial& partial) {
+    if (trip.dep == trip.arr) return;  // e_P defined only for t_u != t_v
+    // Absolute time window spanned by the trip.  Definition 8 writes the
+    // interval as [(t_u - 1) Delta, t_v Delta]; with integer ticks the
+    // instants belonging to windows t_u..t_v are exactly
+    // [(t_u - 1) Delta, t_v Delta - 1] — the literal right endpoint is
+    // the first instant of window t_v + 1, which the trip does not span
+    // (and a direct link there would make time_L zero).
+    const Time window_begin = (trip.dep - 1) * delta;
+    const Time window_end = trip.arr * delta - 1;
+    const auto stream_duration =
+        store.min_duration_within(trip.u, trip.v, window_begin, window_end);
+    // A minimal series trip always embeds a stream trip in its window
+    // (each hop's window holds at least one matching event, at strictly
+    // increasing times); duration > 0 because a zero-duration stream trip
+    // (a single link) would make the multi-window series trip non-minimal.
+    NATSCALE_CHECK(stream_duration.has_value());
+    NATSCALE_CHECK(*stream_duration > 0);
+    const double span_ticks =
+        static_cast<double>(trip.arr - trip.dep + 1) * static_cast<double>(delta);
+    partial.sum.add(span_ticks / static_cast<double>(*stream_duration));
+    ++partial.measured;
+}
+
+ElongationPoint point_of(Time delta, const ElongationPartial& partial) {
+    ElongationPoint point;
+    point.delta = delta;
+    point.measured_trips = partial.measured;
+    point.mean_elongation =
+        partial.measured == 0
+            ? 0.0
+            : partial.sum.value() / static_cast<double>(partial.measured);
+    return point;
+}
+
 /// Elongation of one aggregated series against the stream trip store; the
 /// reachability engine is caller-provided so a sweep can reuse one per
 /// worker thread.
@@ -34,43 +84,15 @@ ElongationPoint elongation_of_series(const GraphSeries& series, const StreamTrip
                                      ReachabilityEngine& engine,
                                      ReachabilityBackend backend) {
     const Time delta = series.delta();
-    ElongationPoint point;
-    point.delta = delta;
-
     ReachabilityOptions options;
     options.pair_sample_divisor = store.pair_sample_divisor();
     options.backend = backend;
 
-    KahanSum elongation_sum;
-    std::uint64_t measured = 0;
+    ElongationPartial partial;
     engine.scan_series(series, [&](const MinimalTrip& trip) {
-        if (trip.dep == trip.arr) return;  // e_P defined only for t_u != t_v
-        // Absolute time window spanned by the trip.  Definition 8 writes the
-        // interval as [(t_u - 1) Delta, t_v Delta]; with integer ticks the
-        // instants belonging to windows t_u..t_v are exactly
-        // [(t_u - 1) Delta, t_v Delta - 1] — the literal right endpoint is
-        // the first instant of window t_v + 1, which the trip does not span
-        // (and a direct link there would make time_L zero).
-        const Time window_begin = (trip.dep - 1) * delta;
-        const Time window_end = trip.arr * delta - 1;
-        const auto stream_duration =
-            store.min_duration_within(trip.u, trip.v, window_begin, window_end);
-        // A minimal series trip always embeds a stream trip in its window
-        // (each hop's window holds at least one matching event, at strictly
-        // increasing times); duration > 0 because a zero-duration stream trip
-        // (a single link) would make the multi-window series trip non-minimal.
-        NATSCALE_CHECK(stream_duration.has_value());
-        NATSCALE_CHECK(*stream_duration > 0);
-        const double span_ticks =
-            static_cast<double>(trip.arr - trip.dep + 1) * static_cast<double>(delta);
-        elongation_sum.add(span_ticks / static_cast<double>(*stream_duration));
-        ++measured;
+        accumulate_elongation(trip, delta, store, partial);
     }, options);
-
-    point.measured_trips = measured;
-    point.mean_elongation =
-        measured == 0 ? 0.0 : elongation_sum.value() / static_cast<double>(measured);
-    return point;
+    return point_of(delta, partial);
 }
 
 }  // namespace
@@ -105,13 +127,56 @@ std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
     sweep_options.num_threads = options.num_threads;
     const DeltaSweepEngine shared(stream, sweep_options);
 
+    // num_threads is THE concurrency (and memory) cap — scan_threads only
+    // changes the decomposition and caps its shard-task fan-out, which
+    // shares this pool.
     ThreadPool pool(options.num_threads);
-    std::vector<ReachabilityEngine> engines(pool.concurrency());
+
+    if (options.scan_threads == 1 || deltas.size() >= pool.concurrency()) {
+        // Wide period list (or intra-scan parallelism disabled): one
+        // whole-period task per entry.
+        std::vector<ReachabilityEngine> engines(pool.concurrency());
+        std::vector<ElongationPoint> curve(deltas.size());
+        pool.parallel_for(deltas.size(), [&](std::size_t worker, std::size_t index) {
+            curve[index] = elongation_of_series(shared.aggregate(deltas[index]), store,
+                                                engines[worker], options.backend);
+        });
+        return curve;
+    }
+
+    // Narrow period list: split the dense scans by destination column, one
+    // elongation partial per (period, shard) task, merged in ascending shard
+    // order.  Bit-identical to the whole-period path (exact sums).
+    std::vector<std::optional<GraphSeries>> series(deltas.size());
+    pool.parallel_for(deltas.size(),
+                      [&](std::size_t index) { series[index].emplace(shared.aggregate(deltas[index])); });
+    std::vector<const GraphSeries*> series_ptrs(deltas.size());
+    for (std::size_t d = 0; d < deltas.size(); ++d) series_ptrs[d] = &*series[d];
+
+    ReachabilityOptions scan_options;
+    scan_options.pair_sample_divisor = store.pair_sample_divisor();
+    scan_options.backend = options.backend;
+    const ShardedScanPlan plan = plan_sharded_scans(series_ptrs, scan_options);
+    std::vector<ElongationPartial> partials(plan.tasks.size());
+    run_sharded_scans(pool, series_ptrs, plan, scan_options,
+                      sharded_scan_workers(options.scan_threads, deltas.size()),
+                      [&](std::size_t task, const GraphSeries& s) {
+                          ElongationPartial& partial = partials[task];
+                          const Time delta = s.delta();
+                          return [&partial, delta, &store](const MinimalTrip& trip) {
+                              accumulate_elongation(trip, delta, store, partial);
+                          };
+                      });
+
     std::vector<ElongationPoint> curve(deltas.size());
-    pool.parallel_for(deltas.size(), [&](std::size_t worker, std::size_t index) {
-        curve[index] = elongation_of_series(shared.aggregate(deltas[index]), store,
-                                            engines[worker], options.backend);
-    });
+    for (std::size_t d = 0; d < deltas.size(); ++d) {
+        ElongationPartial merged;
+        for (std::size_t t = plan.first_task[d]; t < plan.first_task[d + 1]; ++t) {
+            merged.sum.merge(partials[t].sum);
+            merged.measured += partials[t].measured;
+        }
+        curve[d] = point_of(deltas[d], merged);
+    }
     return curve;
 }
 

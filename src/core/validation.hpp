@@ -51,6 +51,15 @@ struct ElongationOptions {
     /// for every thread count.
     std::size_t num_threads = 0;
 
+    /// Intra-scan column parallelism (temporal/column_shards) for narrow
+    /// period lists: 1 = disabled (default); any other value enables the
+    /// per-shard decomposition, whose tasks share the num_threads-wide pool
+    /// (num_threads remains the concurrency cap).  The per-trip elongation
+    /// terms accumulate in exact, order-independent sums
+    /// (stats/exact_sum.hpp), so the curve is bit-identical for every
+    /// (num_threads, scan_threads) combination.
+    std::size_t scan_threads = 1;
+
     /// Reachability backend of the per-period series scans; `automatic`
     /// picks dense or sparse from n and event density.  The curve is
     /// bit-identical for every choice.

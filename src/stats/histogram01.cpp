@@ -29,8 +29,8 @@ void Histogram01::add(double x, std::uint64_t count) noexcept {
     }
     counts_[idx] += count;
     total_ += count;
-    sum_ += x * static_cast<double>(count);
-    sum_sq_ += x * x * static_cast<double>(count);
+    sum_.add(x, count);
+    sum_sq_.add(x * x, count);
 }
 
 void Histogram01::add(double x) noexcept { add(x, 1); }
@@ -39,19 +39,19 @@ void Histogram01::merge(const Histogram01& other) {
     NATSCALE_EXPECTS(other.counts_.size() == counts_.size());
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
     total_ += other.total_;
-    sum_ += other.sum_;
-    sum_sq_ += other.sum_sq_;
+    sum_.merge(other.sum_);
+    sum_sq_.merge(other.sum_sq_);
 }
 
 double Histogram01::mean() const noexcept {
-    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+    return total_ == 0 ? 0.0 : sum_.value() / static_cast<double>(total_);
 }
 
 double Histogram01::population_stddev() const noexcept {
     if (total_ == 0) return 0.0;
     const double n = static_cast<double>(total_);
-    const double mu = sum_ / n;
-    const double var = sum_sq_ / n - mu * mu;
+    const double mu = sum_.value() / n;
+    const double var = sum_sq_.value() / n - mu * mu;
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 

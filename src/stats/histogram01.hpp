@@ -12,11 +12,22 @@
 // occupancy rates of the form hops/duration == 1 and pessimistic by at most
 // one bin width elsewhere.  The default B = 3600 is divisible by the Shannon
 // slot counts used in the paper's Section 7 (5, 10, 20, 100).
+//
+// Accumulation is split-invariant: the bins are integers and the moments are
+// kept in exact fixed-point superaccumulators (stats/exact_sum.hpp), so
+// splitting a sample stream into partial histograms at ANY boundaries and
+// merge()-ing them reproduces the single-accumulator bins, total, mean and
+// stddev bit-for-bit.  This is what lets the column-sharded parallel
+// reachability scans (temporal/column_shards.hpp) accumulate per-shard
+// partials concurrently while staying bit-identical to the sequential scan
+// at every thread count.
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "stats/exact_sum.hpp"
 
 namespace natscale {
 
@@ -35,7 +46,9 @@ public:
     /// Adds `count` samples of the same value.
     void add(double x, std::uint64_t count) noexcept;
 
-    /// Merges another histogram with the same bin count.
+    /// Merges another histogram with the same bin count.  Exact: merging a
+    /// set of partials reproduces the single-accumulator state bit-for-bit
+    /// regardless of how the samples were split across them.
     void merge(const Histogram01& other);
 
     std::size_t num_bins() const noexcept { return counts_.size(); }
@@ -57,8 +70,8 @@ public:
 private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
-    double sum_ = 0.0;
-    double sum_sq_ = 0.0;
+    ExactSum sum_;     // exact Sigma x   (clamped samples, so x in [0, 1])
+    ExactSum sum_sq_;  // exact Sigma x^2
 };
 
 }  // namespace natscale

@@ -1,0 +1,25 @@
+#include "temporal/column_shards.hpp"
+
+#include <algorithm>
+
+namespace natscale {
+
+NodeId column_shard_width(NodeId n) {
+    if (n == 0) return 0;
+    const NodeId target = (n + 15) / 16;                 // ~16 shards
+    const NodeId rounded = ((target + 63) / 64) * 64;    // multiples of 64 columns
+    return std::clamp<NodeId>(rounded, 64, 1024);
+}
+
+std::vector<ColumnShard> column_shards(NodeId n) {
+    std::vector<ColumnShard> shards;
+    if (n == 0) return shards;
+    const std::uint64_t width = column_shard_width(n);
+    for (std::uint64_t begin = 0; begin < n; begin += width) {
+        shards.push_back({static_cast<NodeId>(begin),
+                          static_cast<NodeId>(std::min<std::uint64_t>(begin + width, n))});
+    }
+    return shards;
+}
+
+}  // namespace natscale

@@ -1,0 +1,36 @@
+// Destination-column sharding for intra-scan reachability parallelism.
+//
+// The backward minimal-trip DP decomposes exactly by destination column
+// (see temporal/reachability.hpp): running the full sweep restricted to a
+// column block produces precisely the full scan's state and trips for that
+// block.  column_shards() fixes the partition of [0, n) into fixed-width
+// blocks as a function of n ALONE — never of the thread count — so the
+// per-shard sample partials and their fixed ascending-merge order are the
+// same whether the shards run on 1 thread or 64.  Combined with the
+// split-invariant accumulators (stats/exact_sum.hpp), every quantity the
+// occupancy method derives from a sharded scan is bit-identical to the
+// sequential full scan at every thread count.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace natscale {
+
+struct ColumnShard {
+    NodeId begin = 0;  // first destination column (inclusive)
+    NodeId end = 0;    // one past the last destination column
+};
+
+/// Shard width for an n-node scan: aims at 16 shards, rounded up to a
+/// multiple of 64 columns (512 B of packed state — a cache-friendly row
+/// segment), clamped to [64, 1024].  A pure function of n.
+NodeId column_shard_width(NodeId n);
+
+/// The fixed partition of [0, n) into consecutive blocks of
+/// column_shard_width(n) columns (the last block may be shorter).  Empty for
+/// n == 0; a single full-range shard when n <= the width.
+std::vector<ColumnShard> column_shards(NodeId n);
+
+}  // namespace natscale

@@ -14,8 +14,8 @@ ReachabilityBackend select_backend(NodeId num_nodes, std::size_t total_arcs,
     if (options.distances != nullptr) return ReachabilityBackend::dense;
 
     const std::size_t n = num_nodes;
-    const std::size_t dense_bytes = n * n * (sizeof(Time) + sizeof(Hops));
-    if (n != 0 && dense_bytes / n / n != sizeof(Time) + sizeof(Hops)) {
+    const std::size_t dense_bytes = n * n * kDensePairBytes;
+    if (n != 0 && dense_bytes / n / n != kDensePairBytes) {
         return ReachabilityBackend::sparse;  // n^2 overflowed size_t
     }
     if (dense_bytes > kDenseMemoryBudgetBytes) return ReachabilityBackend::sparse;

@@ -2,9 +2,10 @@
 // temporal/reachability.hpp, with per-source state stored as sorted runs of
 // (v, arrival, hops) entries instead of two dense n x n tables.
 //
-// The dense engine costs n^2 x 12 bytes regardless of how much of the state
-// is actually reachable; with one engine cloned per worker thread that is
-// `threads x n^2 x 12 B`, which at n = 200k is ~480 GB per worker.  Real
+// The dense engine costs n^2 x 8 bytes (packed state) regardless of how much
+// of the state is actually reachable; with one engine cloned per worker
+// thread that is `threads x n^2 x 8 B`, which at n = 200k is ~320 GB per
+// worker.  Real
 // contact and communication streams are extremely sparse, and at the small
 // aggregation periods where the saturation search spends most of its grid
 // points the reachable set of each source is tiny — so this backend stores

@@ -4,10 +4,13 @@
 
 namespace natscale {
 
+std::size_t ThreadPool::resolve_concurrency(std::size_t num_threads) {
+    return num_threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                            : num_threads;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
-    if (num_threads == 0) {
-        num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    }
+    num_threads = resolve_concurrency(num_threads);
     workers_.reserve(num_threads - 1);
     for (std::size_t worker = 1; worker < num_threads; ++worker) {
         workers_.emplace_back([this, worker] { worker_loop(worker); });
@@ -24,16 +27,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(
-    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_workers) {
     if (count == 0) return;
-    if (workers_.empty() || count == 1) {
-        // No pool threads (concurrency 1) or nothing to share: plain loop.
+    if (workers_.empty() || count == 1 || max_workers <= 1) {
+        // No pool threads (concurrency 1), nothing to share, or capped to
+        // the calling thread: plain loop.
         for (std::size_t index = 0; index < count; ++index) body(0, index);
         return;
     }
 
     Job job;
     job.count = count;
+    job.worker_limit = max_workers;
     job.body = &body;
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -62,6 +68,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
         if (stop_) return;
         seen = generation_;
         Job& job = *job_;
+        if (worker >= job.worker_limit) continue;  // capped out of this call
         ++active_workers_;
         drain(job, worker, lock);
         --active_workers_;

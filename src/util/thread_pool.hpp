@@ -35,6 +35,11 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
+    /// The "0 = hardware concurrency (at least 1)" resolution rule the
+    /// constructor applies, exposed so callers sizing related structures
+    /// (or capping parallel_for) share the single definition.
+    static std::size_t resolve_concurrency(std::size_t num_threads);
+
     /// Total number of threads that execute bodies, calling thread included.
     std::size_t concurrency() const noexcept { return workers_.size() + 1; }
 
@@ -42,8 +47,14 @@ public:
     /// all bodies have finished.  Rethrows the first exception thrown by a
     /// body (remaining indices may be skipped).  Not reentrant: bodies must
     /// not call parallel_for on the same pool.
+    ///
+    /// `max_workers` caps how many threads participate in THIS call (the
+    /// calling thread always does; pool workers with id >= max_workers sit
+    /// it out).  Lets one pool serve fan-outs with different concurrency
+    /// budgets without re-spawning threads.
     void parallel_for(std::size_t count,
-                      const std::function<void(std::size_t worker, std::size_t index)>& body);
+                      const std::function<void(std::size_t worker, std::size_t index)>& body,
+                      std::size_t max_workers = ~std::size_t{0});
 
     /// Convenience overload for bodies that need no per-worker scratch.
     void parallel_for(std::size_t count, const std::function<void(std::size_t index)>& body);
@@ -53,6 +64,7 @@ private:
         std::size_t count = 0;
         std::size_t next = 0;       // next unclaimed index (guarded by mutex_)
         std::size_t finished = 0;   // bodies completed (guarded by mutex_)
+        std::size_t worker_limit = 0;  // workers with id >= limit skip the job
         const std::function<void(std::size_t, std::size_t)>* body = nullptr;
         std::exception_ptr error;   // first failure (guarded by mutex_)
     };

@@ -1,0 +1,207 @@
+// Split-invariance suite for the exact accumulators: merging Histogram01
+// partials produced by ANY split of a sample stream must reproduce the
+// single-accumulator bins, total, mean and stddev bit-for-bit — the property
+// the column-sharded parallel scans rely on for thread-count-independent
+// results (see stats/exact_sum.hpp and temporal/column_shards.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "stats/exact_sum.hpp"
+#include "stats/histogram01.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+bool same_bits(double a, double b) {
+    std::uint64_t ia = 0;
+    std::uint64_t ib = 0;
+    std::memcpy(&ia, &a, sizeof a);
+    std::memcpy(&ib, &b, sizeof b);
+    return ia == ib;
+}
+
+// --- ExactSum --------------------------------------------------------------
+
+TEST(ExactSum, MatchesSmallIntegerSums) {
+    ExactSum sum;
+    for (int i = 1; i <= 100; ++i) sum.add(static_cast<double>(i));
+    EXPECT_EQ(sum.value(), 5050.0);
+}
+
+TEST(ExactSum, IsExactWhereNaiveSummationIsNot) {
+    // 1 + 2^-60 * 2^60 == 2: naive double accumulation of one big value and
+    // 2^60 tiny ones loses every tiny contribution; the superaccumulator
+    // keeps them all (added via the multiplicity argument).
+    ExactSum sum;
+    sum.add(1.0);
+    sum.add(std::ldexp(1.0, -60), std::uint64_t{1} << 60);
+    EXPECT_EQ(sum.value(), 2.0);
+}
+
+TEST(ExactSum, OrderIndependentToTheBit) {
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i) {
+        samples.push_back(rng.uniform01());  // in [0, 1)
+    }
+    ExactSum forward;
+    for (double x : samples) forward.add(x);
+    ExactSum backward;
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it) backward.add(*it);
+    EXPECT_TRUE(forward == backward);
+    EXPECT_TRUE(same_bits(forward.value(), backward.value()));
+}
+
+TEST(ExactSum, MergeEqualsConcatenationForAnySplit) {
+    Rng rng(11);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform01());
+    ExactSum whole;
+    for (double x : samples) whole.add(x);
+    for (const std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{500},
+                                    std::size_t{999}, samples.size()}) {
+        ExactSum left;
+        ExactSum right;
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            (i < split ? left : right).add(samples[i]);
+        }
+        left.merge(right);
+        EXPECT_TRUE(left == whole) << "split=" << split;
+    }
+}
+
+TEST(ExactSum, HandlesSubnormalsAndHugeCounts) {
+    const double tiny = std::numeric_limits<double>::denorm_min();
+    ExactSum sum;
+    sum.add(tiny, std::numeric_limits<std::uint64_t>::max());
+    // Exact value: denorm_min * (2^64 - 1) = 2^-1074 * (2^64 - 1).
+    EXPECT_EQ(sum.value(), std::ldexp(1.0, -1074) * 1.8446744073709552e19);
+    // Largest finite double at maximal count must not overflow the limbs.
+    ExactSum big;
+    big.add(std::numeric_limits<double>::max(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(std::isfinite(big.value()) || std::isinf(big.value()));
+    EXPECT_FALSE(big.zero());
+}
+
+TEST(ExactSum, RejectsNegativeAndNonFinite) {
+    ExactSum sum;
+    EXPECT_THROW(sum.add(-1.0), contract_error);
+    EXPECT_THROW(sum.add(std::numeric_limits<double>::infinity()), contract_error);
+    EXPECT_THROW(sum.add(std::numeric_limits<double>::quiet_NaN()), contract_error);
+    EXPECT_TRUE(sum.zero());
+}
+
+TEST(ExactSum, ZeroAndEmptyBehaviour) {
+    ExactSum sum;
+    EXPECT_TRUE(sum.zero());
+    EXPECT_EQ(sum.value(), 0.0);
+    sum.add(0.0, 1000);
+    sum.add(0.5, 0);
+    EXPECT_TRUE(sum.zero());
+    sum.add(0.5);
+    EXPECT_FALSE(sum.zero());
+}
+
+// --- Histogram01 block merge ----------------------------------------------
+
+/// Occupancy-like samples: mostly rationals hops/duration in (0, 1], plus a
+/// few adversarial values exercising the clamp paths.
+std::vector<double> occupancy_like_samples(std::uint64_t seed, std::size_t count) {
+    Rng rng(seed);
+    std::vector<double> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto duration = static_cast<double>(1 + rng.uniform_index(1000));
+        const auto hops = static_cast<double>(1 + rng.uniform_index(
+                              static_cast<std::size_t>(duration)));
+        samples.push_back(hops / duration);
+    }
+    samples.push_back(0.0);
+    samples.push_back(1.0);
+    samples.push_back(-3.5);                                     // clamps to bin 0
+    samples.push_back(7.25);                                     // clamps to last bin
+    samples.push_back(std::numeric_limits<double>::infinity());  // clamps to last bin
+    samples.push_back(std::numeric_limits<double>::denorm_min());
+    return samples;
+}
+
+void expect_identical(const Histogram01& merged, const Histogram01& whole) {
+    EXPECT_EQ(merged.counts(), whole.counts());
+    EXPECT_EQ(merged.total(), whole.total());
+    EXPECT_TRUE(same_bits(merged.mean(), whole.mean()));
+    EXPECT_TRUE(same_bits(merged.population_stddev(), whole.population_stddev()));
+}
+
+TEST(HistogramBlockMerge, RandomSplitsReproduceSingleAccumulatorBitwise) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+        const auto samples = occupancy_like_samples(seed, 5'000);
+        Histogram01 whole(360);
+        for (double x : samples) whole.add(x);
+
+        // Random consecutive blocks, one partial per block, merged in block
+        // order — the exact shape of the column-sharded scans' partials.
+        Rng rng(seed * 1000 + 17);
+        std::vector<Histogram01> partials;
+        std::size_t i = 0;
+        while (i < samples.size()) {
+            const std::size_t block = 1 + rng.uniform_index(997);
+            Histogram01 partial(360);
+            for (std::size_t j = i; j < std::min(i + block, samples.size()); ++j) {
+                partial.add(samples[j]);
+            }
+            partials.push_back(std::move(partial));
+            i += block;
+        }
+        ASSERT_GE(partials.size(), 2u) << "seed=" << seed;
+
+        Histogram01 merged(360);
+        for (const auto& partial : partials) merged.merge(partial);
+        expect_identical(merged, whole);
+    }
+}
+
+TEST(HistogramBlockMerge, InterleavedSplitReproducesSingleAccumulatorBitwise) {
+    // Harder than consecutive blocks: round-robin assignment scrambles the
+    // accumulation order entirely; exactness must still give bit equality.
+    const auto samples = occupancy_like_samples(99, 3'000);
+    Histogram01 whole(3600);
+    for (double x : samples) whole.add(x);
+    std::vector<Histogram01> partials(7, Histogram01(3600));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        partials[i % partials.size()].add(samples[i]);
+    }
+    Histogram01 merged(3600);
+    for (const auto& partial : partials) merged.merge(partial);
+    expect_identical(merged, whole);
+}
+
+TEST(HistogramBlockMerge, MergeOrderDoesNotMatter) {
+    const auto samples = occupancy_like_samples(123, 2'000);
+    std::vector<Histogram01> partials(5, Histogram01(100));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        partials[i % partials.size()].add(samples[i]);
+    }
+    Histogram01 ascending(100);
+    for (std::size_t p = 0; p < partials.size(); ++p) ascending.merge(partials[p]);
+    Histogram01 descending(100);
+    for (std::size_t p = partials.size(); p-- > 0;) descending.merge(partials[p]);
+    expect_identical(ascending, descending);
+}
+
+TEST(HistogramBlockMerge, WeightedAddsMatchRepeatedAdds) {
+    Histogram01 weighted(60);
+    Histogram01 repeated(60);
+    const double x = 1.0 / 3.0;
+    weighted.add(x, 1'000'000);
+    for (int i = 0; i < 1'000'000; ++i) repeated.add(x);
+    expect_identical(weighted, repeated);
+}
+
+}  // namespace
+}  // namespace natscale

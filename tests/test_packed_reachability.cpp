@@ -1,0 +1,341 @@
+// Differential suite for the packed lexicographic reachability kernel
+// (temporal/reachability.hpp) against the pre-packed scalar reference
+// (temporal/legacy_reachability.hpp): same trips in the same order, same
+// final state, same distance accumulation — plus the column-restricted scan
+// decomposition and the stream-mode timestamp rank compression on
+// adversarial timestamp sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/column_shards.hpp"
+#include "temporal/legacy_reachability.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "temporal/reachability.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+LinkStream random_stream(std::uint64_t seed, NodeId n, std::size_t num_events, Time period,
+                         bool directed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    for (std::size_t i = 0; i < num_events; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        events.push_back({u, v, rng.uniform_int(0, period - 1)});
+    }
+    return LinkStream(std::move(events), n, period, directed);
+}
+
+template <typename Engine, typename Input>
+std::vector<MinimalTrip> series_trips(Engine& engine, const Input& input,
+                                      const ReachabilityOptions& options = {}) {
+    std::vector<MinimalTrip> trips;
+    engine.scan_series(input, [&](const MinimalTrip& t) { trips.push_back(t); }, options);
+    return trips;
+}
+
+template <typename Engine>
+std::vector<MinimalTrip> stream_trips(Engine& engine, const LinkStream& stream,
+                                      const ReachabilityOptions& options = {}) {
+    std::vector<MinimalTrip> trips;
+    engine.scan_stream(stream, [&](const MinimalTrip& t) { trips.push_back(t); }, options);
+    return trips;
+}
+
+void expect_same_sequence(const std::vector<MinimalTrip>& packed,
+                          const std::vector<MinimalTrip>& legacy, const char* what) {
+    ASSERT_EQ(packed.size(), legacy.size()) << what;
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        ASSERT_EQ(packed[i], legacy[i]) << what << " trip #" << i;
+    }
+}
+
+TEST(PackedReachability, SeriesTripSequenceIdenticalToLegacy) {
+    for (const bool directed : {false, true}) {
+        for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            const auto stream = random_stream(seed, 40, 400, 5'000, directed);
+            for (const Time delta : {1, 50, 500, 5'000}) {
+                const auto series = aggregate(stream, delta);
+                TemporalReachability packed;
+                LegacyTemporalReachability legacy;
+                expect_same_sequence(series_trips(packed, series),
+                                     series_trips(legacy, series), "series");
+            }
+        }
+    }
+}
+
+TEST(PackedReachability, StreamTripSequenceIdenticalToLegacy) {
+    for (const bool directed : {false, true}) {
+        const auto stream = random_stream(7, 30, 300, 2'000, directed);
+        TemporalReachability packed;
+        LegacyTemporalReachability legacy;
+        expect_same_sequence(stream_trips(packed, stream), stream_trips(legacy, stream),
+                             "stream");
+    }
+}
+
+TEST(PackedReachability, FinalStateDecodesIdenticallyToLegacy) {
+    const auto stream = random_stream(11, 25, 200, 1'000, false);
+    const auto series = aggregate(stream, 40);
+    TemporalReachability packed;
+    LegacyTemporalReachability legacy;
+    packed.scan_series(series, [](const MinimalTrip&) {});
+    legacy.scan_series(series, [](const MinimalTrip&) {});
+    for (NodeId u = 0; u < stream.num_nodes(); ++u) {
+        for (NodeId v = 0; v < stream.num_nodes(); ++v) {
+            ASSERT_EQ(packed.arrival(u, v), legacy.arrival(u, v)) << u << "," << v;
+            ASSERT_EQ(packed.hop_count(u, v), legacy.hop_count(u, v)) << u << "," << v;
+        }
+    }
+}
+
+TEST(PackedReachability, PairSamplingIdenticalToLegacy) {
+    const auto stream = random_stream(13, 30, 300, 2'000, false);
+    const auto series = aggregate(stream, 100);
+    ReachabilityOptions options;
+    options.pair_sample_divisor = 3;
+    TemporalReachability packed;
+    LegacyTemporalReachability legacy;
+    expect_same_sequence(series_trips(packed, series, options),
+                         series_trips(legacy, series, options), "sampled");
+}
+
+TEST(PackedReachability, DistanceAccumulationIdenticalToLegacy) {
+    // The packed engine decodes ranks back to window labels both per change
+    // and in the final tables handed to DistanceAccumulator::finish.
+    for (const std::uint64_t seed : {3ull, 5ull}) {
+        const auto stream = random_stream(seed, 30, 250, 3'000, false);
+        const auto series = aggregate(stream, 75);
+        DistanceAccumulator packed_distances;
+        DistanceAccumulator legacy_distances;
+        ReachabilityOptions packed_options;
+        packed_options.distances = &packed_distances;
+        ReachabilityOptions legacy_options;
+        legacy_options.distances = &legacy_distances;
+        TemporalReachability packed;
+        LegacyTemporalReachability legacy;
+        packed.scan_series(series, [](const MinimalTrip&) {}, packed_options);
+        legacy.scan_series(series, [](const MinimalTrip&) {}, legacy_options);
+        EXPECT_EQ(packed_distances.stats().dtime_sum, legacy_distances.stats().dtime_sum);
+        EXPECT_EQ(packed_distances.stats().dhops_sum, legacy_distances.stats().dhops_sum);
+        EXPECT_EQ(packed_distances.stats().finite_count,
+                  legacy_distances.stats().finite_count);
+    }
+}
+
+// --- stream-mode timestamp rank compression --------------------------------
+
+/// Builds a stream around raw timestamps that a naive "arrival fits 32 bits"
+/// packing would mangle; rank compression must emit trips carrying the
+/// original (un-ranked) values.  Bypasses the LinkStream constructor's
+/// [0, period_end) restriction through from_source, whose contract is the
+/// caller's (this test's) responsibility: events must be (t, u, v)-sorted.
+LinkStream adversarial_stream(std::vector<Event> events, NodeId n, bool directed) {
+    if (!directed) {
+        for (auto& e : events) {
+            if (e.u > e.v) std::swap(e.u, e.v);
+        }
+    }
+    std::sort(events.begin(), events.end());
+    std::size_t distinct = 0;
+    Time prev = 0;
+    bool have_prev = false;
+    for (const auto& e : events) {
+        if (!have_prev || e.t != prev) ++distinct;
+        prev = e.t;
+        have_prev = true;
+    }
+    return LinkStream::from_source(EventSource::owning(std::move(events)), n,
+                                   std::numeric_limits<Time>::max(), directed, distinct);
+}
+
+std::vector<Event> adversarial_events(std::uint64_t seed, NodeId n, std::size_t count) {
+    // Timestamp pool mixing negative times, INT64_MAX-adjacent values (the
+    // legacy kernel's kInfiniteTime sentinel is INT64_MAX itself, so the
+    // largest representable *event* time is INT64_MAX - 1), huge gaps, and
+    // heavy duplicates.
+    const std::vector<Time> pool = {
+        std::numeric_limits<Time>::min(),
+        std::numeric_limits<Time>::min() + 1,
+        -1'000'000'000'000'000'000LL,
+        -3,
+        -2,
+        -1,
+        0,
+        1,
+        2,
+        1'000'000'000'000'000'000LL,
+        std::numeric_limits<Time>::max() - 2,
+        std::numeric_limits<Time>::max() - 1,
+    };
+    Rng rng(seed);
+    std::vector<Event> events;
+    events.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        events.push_back({u, v, pool[rng.uniform_index(pool.size())]});
+    }
+    return events;
+}
+
+TEST(PackedReachability, RankCompressionMatchesLegacyOnAdversarialTimestamps) {
+    for (const bool directed : {false, true}) {
+        for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+            const auto stream =
+                adversarial_stream(adversarial_events(seed, 12, 160), 12, directed);
+            TemporalReachability packed;
+            LegacyTemporalReachability legacy;
+            const auto packed_trips = stream_trips(packed, stream);
+            const auto legacy_trips = stream_trips(legacy, stream);
+            expect_same_sequence(packed_trips, legacy_trips, "adversarial");
+            ASSERT_FALSE(packed_trips.empty()) << "vacuous adversarial case";
+            // Emitted values are original timestamps, not ranks: every
+            // dep/arr must come from the input's timestamp set.
+            std::vector<Time> times;
+            for (const auto& e : stream.events()) times.push_back(e.t);
+            std::sort(times.begin(), times.end());
+            for (const auto& trip : packed_trips) {
+                EXPECT_TRUE(std::binary_search(times.begin(), times.end(), trip.dep));
+                EXPECT_TRUE(std::binary_search(times.begin(), times.end(), trip.arr));
+            }
+        }
+    }
+}
+
+TEST(PackedReachability, DuplicateHeavyTimestampsMatchLegacy) {
+    // Every event on one of two instants: maximal per-instant arc batching.
+    std::vector<Event> events;
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(15));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(15));
+        if (u == v) v = (v + 1) % 15;
+        events.push_back({u, v, i % 2 == 0 ? -5 : 7});
+    }
+    const auto stream = adversarial_stream(std::move(events), 15, false);
+    EXPECT_EQ(stream.num_distinct_timestamps(), 2u);
+    TemporalReachability packed;
+    LegacyTemporalReachability legacy;
+    expect_same_sequence(stream_trips(packed, stream), stream_trips(legacy, stream),
+                         "duplicate-heavy");
+}
+
+// --- column-restricted scans -----------------------------------------------
+
+TEST(ColumnShards, StructureIsAFunctionOfNOnly) {
+    EXPECT_TRUE(column_shards(0).empty());
+    for (const NodeId n : {1u, 63u, 64u, 65u, 200u, 1000u, 2048u, 5016u}) {
+        const auto shards = column_shards(n);
+        ASSERT_FALSE(shards.empty()) << n;
+        EXPECT_EQ(shards.front().begin, 0u);
+        EXPECT_EQ(shards.back().end, n);
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            EXPECT_LT(shards[s].begin, shards[s].end);
+            if (s > 0) {
+                EXPECT_EQ(shards[s].begin, shards[s - 1].end);
+            }
+            if (s + 1 < shards.size()) {
+                EXPECT_EQ(shards[s].end - shards[s].begin, column_shard_width(n));
+            }
+        }
+        // Deterministic: two calls agree.
+        const auto again = column_shards(n);
+        ASSERT_EQ(again.size(), shards.size());
+    }
+    // The n = 2048 crossover workload shards into 16 blocks of 128 columns.
+    EXPECT_EQ(column_shard_width(2048), 128u);
+    EXPECT_EQ(column_shards(2048).size(), 16u);
+}
+
+TEST(PackedReachability, ColumnScansPartitionTheFullScan) {
+    for (const bool directed : {false, true}) {
+        const auto stream = random_stream(31, 70, 600, 4'000, directed);
+        const auto series = aggregate(stream, 60);
+        TemporalReachability full_engine;
+        const auto full = series_trips(full_engine, series);
+
+        // A hand-picked uneven partition: restricted scans must reproduce
+        // exactly the full scan's trips with v in range, in relative order.
+        const std::vector<ColumnShard> partition = {{0, 1}, {1, 64}, {64, 70}};
+        std::vector<MinimalTrip> stitched_per_shard;
+        TemporalReachability engine;  // reused across shards on purpose
+        for (const auto& shard : partition) {
+            std::vector<MinimalTrip> shard_trips;
+            engine.scan_series_columns(series, shard.begin, shard.end,
+                                       [&](const MinimalTrip& t) { shard_trips.push_back(t); });
+            std::vector<MinimalTrip> expected;
+            for (const auto& t : full) {
+                if (t.v >= shard.begin && t.v < shard.end) expected.push_back(t);
+            }
+            expect_same_sequence(shard_trips, expected, "shard");
+            stitched_per_shard.insert(stitched_per_shard.end(), shard_trips.begin(),
+                                      shard_trips.end());
+        }
+        EXPECT_EQ(stitched_per_shard.size(), full.size());
+    }
+}
+
+TEST(PackedReachability, ColumnScanStateMatchesFullScan) {
+    const auto stream = random_stream(37, 50, 400, 3'000, false);
+    const auto series = aggregate(stream, 80);
+    TemporalReachability full;
+    full.scan_series(series, [](const MinimalTrip&) {});
+    TemporalReachability restricted;
+    restricted.scan_series_columns(series, 10, 30, [](const MinimalTrip&) {});
+    for (NodeId u = 0; u < 50; ++u) {
+        for (NodeId v = 10; v < 30; ++v) {
+            ASSERT_EQ(restricted.arrival(u, v), full.arrival(u, v)) << u << "," << v;
+            ASSERT_EQ(restricted.hop_count(u, v), full.hop_count(u, v)) << u << "," << v;
+        }
+    }
+}
+
+TEST(PackedReachability, StreamColumnScansPartitionTheFullScan) {
+    const auto stream = random_stream(41, 40, 350, 2'500, false);
+    TemporalReachability full_engine;
+    const auto full = stream_trips(full_engine, stream);
+    std::vector<MinimalTrip> stitched;
+    for (const auto& shard : std::vector<ColumnShard>{{0, 13}, {13, 40}}) {
+        TemporalReachability engine;
+        engine.scan_stream_columns(stream, shard.begin, shard.end,
+                                   [&](const MinimalTrip& t) { stitched.push_back(t); });
+    }
+    ASSERT_EQ(stitched.size(), full.size());
+    // Same multiset: sort both by (dep desc, u, v) — a total order here.
+    auto key = [](const MinimalTrip& t) {
+        return std::make_tuple(-t.dep, t.u, t.v, t.arr, t.hops);
+    };
+    std::sort(stitched.begin(), stitched.end(),
+              [&](const MinimalTrip& a, const MinimalTrip& b) { return key(a) < key(b); });
+    auto expected = full;
+    std::sort(expected.begin(), expected.end(),
+              [&](const MinimalTrip& a, const MinimalTrip& b) { return key(a) < key(b); });
+    for (std::size_t i = 0; i < expected.size(); ++i) ASSERT_EQ(stitched[i], expected[i]);
+}
+
+TEST(PackedReachability, ColumnScanRejectsDistanceAccumulation) {
+    const auto stream = random_stream(43, 20, 100, 500, false);
+    const auto series = aggregate(stream, 50);
+    DistanceAccumulator distances;
+    ReachabilityOptions options;
+    options.distances = &distances;
+    TemporalReachability engine;
+    EXPECT_THROW(
+        engine.scan_series_columns(series, 0, 10, [](const MinimalTrip&) {}, options),
+        contract_error);
+}
+
+}  // namespace
+}  // namespace natscale

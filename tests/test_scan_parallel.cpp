@@ -1,0 +1,250 @@
+// Differential-parity suite for intra-scan column parallelism: occupancy
+// histograms, batched Delta sweeps, the full saturation search, and the
+// elongation validation must be bit-identical — trips counted, gamma, every
+// curve score, histogram bins AND moments — to the sequential pre-packed
+// reference across {dense, sparse, automatic} backends x {1, N} scan threads
+// x series/stream modes.  N defaults to 4 and is overridable through the
+// NATSCALE_TEST_SCAN_THREADS environment variable so CI can force
+// oversubscription (scan_threads > cores) and shake out scheduling-order
+// dependence a wide machine would never hit.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/occupancy.hpp"
+#include "core/saturation.hpp"
+#include "core/validation.hpp"
+#include "linkstream/aggregation.hpp"
+#include "temporal/column_shards.hpp"
+#include "temporal/legacy_reachability.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "temporal/reachability_backend.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+/// Scan-thread count under test: 4 unless the environment overrides it (the
+/// CI oversubscription job sets it above the runner's core count).
+std::size_t test_scan_threads() {
+    if (const char* env = std::getenv("NATSCALE_TEST_SCAN_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 1) return static_cast<std::size_t>(parsed);
+    }
+    return 4;
+}
+
+bool same_bits(double a, double b) {
+    std::uint64_t ia = 0;
+    std::uint64_t ib = 0;
+    std::memcpy(&ia, &a, sizeof a);
+    std::memcpy(&ib, &b, sizeof b);
+    return ia == ib;
+}
+
+LinkStream random_stream(std::uint64_t seed, NodeId n, std::size_t num_events, Time period,
+                         bool directed = false) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    for (std::size_t i = 0; i < num_events; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+        NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        events.push_back({u, v, rng.uniform_int(0, period - 1)});
+    }
+    return LinkStream(std::move(events), n, period, directed);
+}
+
+void expect_same_histogram(const Histogram01& a, const Histogram01& b) {
+    EXPECT_EQ(a.counts(), b.counts());
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_TRUE(same_bits(a.mean(), b.mean()));
+    EXPECT_TRUE(same_bits(a.population_stddev(), b.population_stddev()));
+}
+
+void expect_same_point(const DeltaPoint& a, const DeltaPoint& b) {
+    EXPECT_EQ(a.delta, b.delta);
+    EXPECT_EQ(a.num_trips, b.num_trips);
+    EXPECT_TRUE(same_bits(a.occupancy_mean, b.occupancy_mean));
+    EXPECT_TRUE(same_bits(a.scores.mk_proximity, b.scores.mk_proximity));
+    EXPECT_TRUE(same_bits(a.scores.std_deviation, b.scores.std_deviation));
+    EXPECT_TRUE(same_bits(a.scores.shannon_entropy, b.scores.shannon_entropy));
+    EXPECT_TRUE(same_bits(a.scores.cre, b.scores.cre));
+    EXPECT_TRUE(same_bits(a.scores.variation_coefficient, b.scores.variation_coefficient));
+}
+
+const std::vector<ReachabilityBackend> kBackends = {
+    ReachabilityBackend::automatic,
+    ReachabilityBackend::dense,
+    ReachabilityBackend::sparse,
+};
+
+TEST(ScanParallel, OccupancyHistogramBitIdenticalToPrePackedSequentialScan) {
+    const auto stream = random_stream(51, 150, 1'500, 30'000);
+    for (const Time delta : {40, 700, 15'000}) {
+        const auto series = aggregate(stream, delta);
+        // The pre-PR sequential path: legacy scalar kernel, one accumulator.
+        Histogram01 reference(720);
+        LegacyTemporalReachability legacy;
+        legacy.scan_series(series, [&](const MinimalTrip& trip) {
+            reference.add(series_occupancy(trip));
+        });
+        for (const ReachabilityBackend backend : kBackends) {
+            for (const std::size_t threads : {std::size_t{1}, test_scan_threads()}) {
+                const Histogram01 hist = occupancy_histogram(series, 720, backend, threads);
+                SCOPED_TRACE("delta=" + std::to_string(delta) +
+                             " backend=" + std::to_string(static_cast<int>(backend)) +
+                             " scan_threads=" + std::to_string(threads));
+                expect_same_histogram(hist, reference);
+            }
+        }
+    }
+}
+
+TEST(ScanParallel, StreamModeShardedScanBitIdenticalToPrePackedScan) {
+    // Stream-mode parity: the column shards of a raw-stream scan must
+    // reproduce the legacy kernel's per-trip stream exactly (here reduced
+    // through the split-invariant histogram of stream occupancies).
+    const auto stream = random_stream(53, 300, 1'200, 10'000);
+    const auto add_occ = [](Histogram01& hist, const MinimalTrip& trip) {
+        const Time duration = stream_duration(trip);
+        if (duration > 0) {
+            hist.add(static_cast<double>(trip.hops) / static_cast<double>(duration));
+        }
+    };
+    Histogram01 reference(360);
+    LegacyTemporalReachability legacy;
+    legacy.scan_stream(stream, [&](const MinimalTrip& t) { add_occ(reference, t); });
+
+    Histogram01 sharded(360);
+    TemporalReachability packed;
+    for (const ColumnShard& shard : column_shards(stream.num_nodes())) {
+        Histogram01 partial(360);
+        packed.scan_stream_columns(stream, shard.begin, shard.end,
+                                   [&](const MinimalTrip& t) { add_occ(partial, t); });
+        sharded.merge(partial);
+    }
+    expect_same_histogram(sharded, reference);
+}
+
+TEST(ScanParallel, DeltaSweepNarrowGridShardedPathBitIdenticalToOuterPath) {
+    const auto stream = random_stream(57, 200, 2'000, 50'000);
+    const std::vector<Time> narrow_grid = {60, 900, 20'000};
+
+    DeltaSweepOptions reference_options;
+    reference_options.num_threads = 1;
+    reference_options.histogram_bins = 360;
+    DeltaSweepEngine reference_engine(stream, reference_options);
+    std::vector<Histogram01> reference_hists;
+    const auto reference = reference_engine.evaluate(narrow_grid, &reference_hists);
+
+    for (const ReachabilityBackend backend : kBackends) {
+        for (const std::size_t threads : {std::size_t{1}, test_scan_threads()}) {
+            DeltaSweepOptions options;
+            options.histogram_bins = 360;
+            options.backend = backend;
+            // Pool wider than the grid, so scan_threads != 1 engages the
+            // (period, shard) decomposition.
+            options.num_threads = test_scan_threads();
+            options.scan_threads = threads;
+            DeltaSweepEngine engine(stream, options);
+            std::vector<Histogram01> hists;
+            const auto points = engine.evaluate(narrow_grid, &hists);
+            ASSERT_EQ(points.size(), reference.size());
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                SCOPED_TRACE("i=" + std::to_string(i) +
+                             " backend=" + std::to_string(static_cast<int>(backend)) +
+                             " scan_threads=" + std::to_string(threads));
+                expect_same_point(points[i], reference[i]);
+                expect_same_histogram(hists[i], reference_hists[i]);
+            }
+        }
+    }
+}
+
+TEST(ScanParallel, SaturationSearchBitIdenticalAcrossScanThreadsAndBackends) {
+    const auto stream = random_stream(61, 80, 900, 25'000);
+
+    SaturationOptions base;
+    base.coarse_points = 12;
+    base.refine_rounds = 2;
+    base.refine_points = 5;
+    base.histogram_bins = 360;
+
+    SaturationOptions reference_options = base;
+    reference_options.num_threads = 1;
+    reference_options.scan_threads = 1;
+    reference_options.backend = ReachabilityBackend::dense;
+    const auto reference = find_saturation_scale(stream, reference_options);
+
+    for (const ReachabilityBackend backend : kBackends) {
+        for (const std::size_t num_threads : {std::size_t{1}, std::size_t{4}}) {
+            for (const std::size_t scan_threads : {std::size_t{1}, test_scan_threads()}) {
+                SaturationOptions options = base;
+                options.backend = backend;
+                options.num_threads = num_threads;
+                options.scan_threads = scan_threads;
+                const auto result = find_saturation_scale(stream, options);
+                SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(backend)) +
+                             " threads=" + std::to_string(num_threads) +
+                             " scan_threads=" + std::to_string(scan_threads));
+                EXPECT_EQ(result.gamma, reference.gamma);
+                ASSERT_EQ(result.curve.size(), reference.curve.size());
+                for (std::size_t i = 0; i < result.curve.size(); ++i) {
+                    expect_same_point(result.curve[i], reference.curve[i]);
+                }
+                expect_same_point(result.at_gamma, reference.at_gamma);
+                expect_same_histogram(result.gamma_histogram, reference.gamma_histogram);
+            }
+        }
+    }
+}
+
+TEST(ScanParallel, ElongationCurveBitIdenticalAcrossScanThreads) {
+    const auto stream = random_stream(67, 60, 700, 8'000);
+    const std::vector<Time> deltas = {50, 400, 2'000};
+
+    ElongationOptions reference_options;
+    reference_options.num_threads = 1;
+    const auto reference = elongation_curve(stream, deltas, reference_options);
+
+    for (const ReachabilityBackend backend : kBackends) {
+        for (const std::size_t threads : {std::size_t{1}, test_scan_threads()}) {
+            ElongationOptions options;
+            options.backend = backend;
+            options.num_threads = test_scan_threads();
+            options.scan_threads = threads;
+            const auto curve = elongation_curve(stream, deltas, options);
+            ASSERT_EQ(curve.size(), reference.size());
+            for (std::size_t i = 0; i < curve.size(); ++i) {
+                SCOPED_TRACE("i=" + std::to_string(i) +
+                             " backend=" + std::to_string(static_cast<int>(backend)) +
+                             " scan_threads=" + std::to_string(threads));
+                EXPECT_EQ(curve[i].delta, reference[i].delta);
+                EXPECT_EQ(curve[i].measured_trips, reference[i].measured_trips);
+                EXPECT_TRUE(same_bits(curve[i].mean_elongation,
+                                      reference[i].mean_elongation));
+            }
+        }
+    }
+}
+
+TEST(ScanParallel, OversubscribedScanThreadsStayDeterministic) {
+    // scan_threads far beyond any core count the CI runners have: the
+    // scheduler interleaves shard tasks arbitrarily, results must not move.
+    const auto stream = random_stream(71, 120, 1'000, 12'000);
+    const auto series = aggregate(stream, 150);
+    const Histogram01 reference = occupancy_histogram(series, 360);
+    for (const std::size_t threads : {std::size_t{3}, std::size_t{16}, std::size_t{61}}) {
+        expect_same_histogram(
+            occupancy_histogram(series, 360, ReachabilityBackend::automatic, threads),
+            reference);
+    }
+}
+
+}  // namespace
+}  // namespace natscale
