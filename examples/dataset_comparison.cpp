@@ -11,13 +11,21 @@
 //
 // Runs on downscaled replicas by default; pass --full for published sizes.
 //
-// Run:  ./build/examples/dataset_comparison [--full]
+// Run:  ./build/dataset_comparison [--full] [--threads=N] [--scan-threads=N]
+//                                  [--backend=auto|dense|sparse]
+//
+// Each dataset's saturation search runs through the batched parallel sweep
+// engine; the knobs mirror find_time_scale and change wall-clock only —
+// every gamma in the table is identical for every combination.
+#include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/report.hpp"
 #include "core/saturation.hpp"
+#include "examples/example_cli.hpp"
 #include "gen/replicas.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/format.hpp"
@@ -27,7 +35,28 @@
 using namespace natscale;
 
 int main(int argc, char** argv) {
-    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    bool full = false;
+    std::size_t num_threads = 0;
+    std::size_t scan_threads = 1;
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--full") {
+            full = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            num_threads = examples::parse_count(arg, 10);
+        } else if (arg.rfind("--scan-threads=", 0) == 0) {
+            scan_threads = examples::parse_count(arg, 15);
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            backend = examples::parse_backend(arg, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: dataset_comparison [--full] [--threads=N]\n"
+                         "                          [--scan-threads=N]\n"
+                         "                          [--backend=auto|dense|sparse]\n");
+            return 2;
+        }
+    }
     const double scale = full ? 1.0 : 0.25;
 
     struct Row {
@@ -46,6 +75,9 @@ int main(int argc, char** argv) {
 
         SaturationOptions options;
         options.coarse_points = full ? 48 : 32;
+        options.num_threads = num_threads;
+        options.scan_threads = scan_threads;
+        options.backend = backend;
         const auto result = find_saturation_scale(stream, options);
         rows.push_back({spec.name, stats.events_per_node_per_day, result.gamma});
 

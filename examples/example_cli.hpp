@@ -1,0 +1,46 @@
+// Shared command-line parsing for the example programs.
+//
+// Every example that exposes the engine knobs (--threads / --scan-threads /
+// --backend / numeric options generally) parses them through these helpers,
+// so the hardened behavior — junk, negatives and trailing garbage exit 2
+// with a message instead of silently wrapping or aborting — is uniform
+// across find_time_scale, epidemic_window and dataset_comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "temporal/reachability.hpp"
+
+namespace natscale::examples {
+
+/// Numeric value of an `--option=N` argument; exits with a message on junk
+/// (including negatives, which std::stoul would silently wrap, and trailing
+/// garbage, which it would silently drop).
+inline std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
+    const std::string value = arg.substr(prefix_len);
+    try {
+        std::size_t consumed = 0;
+        const unsigned long parsed = std::stoul(value, &consumed);
+        if (value.empty() || value[0] == '-' || consumed != value.size()) {
+            throw std::invalid_argument(value);
+        }
+        return static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid number '%s' in '%s'\n", value.c_str(), arg.c_str());
+        std::exit(2);
+    }
+}
+
+/// `--backend=auto|dense|sparse`; exits 2 on anything else.
+inline ReachabilityBackend parse_backend(const std::string& arg, std::size_t prefix_len) {
+    const std::string value = arg.substr(prefix_len);
+    if (value == "auto") return ReachabilityBackend::automatic;
+    if (value == "dense") return ReachabilityBackend::dense;
+    if (value == "sparse") return ReachabilityBackend::sparse;
+    std::fprintf(stderr, "unknown backend '%s' in '%s'\n", value.c_str(), arg.c_str());
+    std::exit(2);
+}
+
+}  // namespace natscale::examples

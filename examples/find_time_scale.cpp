@@ -4,12 +4,17 @@
 //
 // Usage:
 //   find_time_scale <stream-file> [--directed] [--metric=mk|stddev|shannon|cre]
-//                   [--points=N] [--threads=N] [--scan-threads=N]
+//                   [--points=N] [--refine-rounds=N]
+//                   [--threads=N] [--scan-threads=N]
 //                   [--backend=auto|dense|sparse]
 //                   [--format=auto|text|natbin]
 //                   [--curve] [--dat=prefix] [--json] [--segments]
 //   find_time_scale convert <input> <output> [--directed]
 //                   [--format=auto|text|natbin] [--to=natbin|text]
+//   find_time_scale watch <file.natbin> [--points=N]
+//                   [--metric=mk|stddev|shannon|cre] [--threads=N]
+//                   [--every-events=N] [--every-seconds=S] [--poll-ms=M]
+//                   [--max-reports=N] [--checkpoint=PATH]
 //
 // Text stream files hold one `u v t` triple per line (spaces, tabs or
 // commas; '#'/'%' comments; arbitrary node labels).  .natbin files are the
@@ -20,22 +25,43 @@
 // Output: the saturation scale gamma, and optionally the full metric curve,
 // machine-readable JSON, per-activity-regime scales, and gnuplot .dat
 // files.
+//
+// `watch` tails a GROWING natbin file (a writer appending via NatbinWriter,
+// header count still unpatched) through the online incremental engine
+// (src/online): it folds sealed windows as records appear and emits one
+// JSON line per report — gamma, the metric scores at gamma, trip count —
+// recomputing only the unsealed tail, never the history.  The final report
+// (emitted when the writer finish()es the file) is bit-identical to the
+// batch run `find_time_scale <file> --points=N --refine-rounds=0` over the
+// same coarse grid.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#include "core/delta_grid.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "core/saturation.hpp"
 #include "core/segmentation.hpp"
+#include "examples/example_cli.hpp"
 #include "linkstream/binary_io.hpp"
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
+#include "online/checkpoint.hpp"
+#include "online/incremental_sweep.hpp"
 #include "util/format.hpp"
 #include "util/gnuplot.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 using namespace natscale;
+using examples::parse_backend;
+using examples::parse_count;
 
 namespace {
 
@@ -43,30 +69,29 @@ void usage() {
     std::fprintf(stderr,
                  "usage: find_time_scale <stream-file> [--directed]\n"
                  "                       [--metric=mk|stddev|shannon|cre]\n"
-                 "                       [--points=N] [--threads=N] [--scan-threads=N]\n"
+                 "                       [--points=N] [--refine-rounds=N]\n"
+                 "                       [--threads=N] [--scan-threads=N]\n"
                  "                       [--backend=auto|dense|sparse]\n"
                  "                       [--format=auto|text|natbin] [--curve]\n"
                  "                       [--dat=prefix] [--json] [--segments]\n"
                  "       find_time_scale convert <input> <output> [--directed]\n"
-                 "                       [--format=auto|text|natbin] [--to=natbin|text]\n");
+                 "                       [--format=auto|text|natbin] [--to=natbin|text]\n"
+                 "       find_time_scale watch <file.natbin> [--points=N]\n"
+                 "                       [--metric=mk|stddev|shannon|cre] [--threads=N]\n"
+                 "                       [--every-events=N] [--every-seconds=S]\n"
+                 "                       [--poll-ms=M] [--max-reports=N]\n"
+                 "                       [--checkpoint=PATH]\n");
 }
 
-/// Numeric value of an `--option=N` argument; exits with a message on junk
-/// (including negatives, which std::stoul would silently wrap, and trailing
-/// garbage, which it would silently drop).
-std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
+/// `--metric=` values; exits 2 on anything else.
+UniformityMetric parse_metric(const std::string& arg, std::size_t prefix_len) {
     const std::string value = arg.substr(prefix_len);
-    try {
-        std::size_t consumed = 0;
-        const unsigned long parsed = std::stoul(value, &consumed);
-        if (value.empty() || value[0] == '-' || consumed != value.size()) {
-            throw std::invalid_argument(value);
-        }
-        return static_cast<std::size_t>(parsed);
-    } catch (const std::exception&) {
-        std::fprintf(stderr, "invalid number '%s' in '%s'\n", value.c_str(), arg.c_str());
-        std::exit(2);
-    }
+    if (value == "mk") return UniformityMetric::mk_proximity;
+    if (value == "stddev") return UniformityMetric::std_deviation;
+    if (value == "shannon") return UniformityMetric::shannon_entropy;
+    if (value == "cre") return UniformityMetric::cre;
+    std::fprintf(stderr, "unknown metric '%s'\n", value.c_str());
+    std::exit(2);
 }
 
 /// `--format=` / `--to=` values; `automatic` sniffs the file's magic bytes.
@@ -155,6 +180,176 @@ int run_convert(int argc, char** argv) {
     return 0;
 }
 
+/// One JSON report line of the watch loop.
+void emit_watch_report(const OnlineReport& report, Time watermark, bool finished,
+                       double refresh_seconds, UniformityMetric metric) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("events", report.events_covered);
+    json.field("watermark_ticks",
+               watermark == kInfiniteTime ? std::int64_t{-1}
+                                          : static_cast<std::int64_t>(watermark));
+    json.field("finished", finished);
+    json.field("gamma_ticks", static_cast<std::int64_t>(report.gamma));
+    json.field("metric", metric_name(metric));
+    json.field("score_at_gamma", score_of(report.at_gamma.scores, metric));
+    json.field("mk_proximity_at_gamma", report.at_gamma.scores.mk_proximity);
+    json.field("num_trips_at_gamma", report.at_gamma.num_trips);
+    json.field("occupancy_mean_at_gamma", report.at_gamma.occupancy_mean);
+    json.field("refresh_seconds", refresh_seconds);
+    json.end_object();
+    std::cout << json.str() << std::endl;  // flush: a pipe reader sees it now
+}
+
+/// `find_time_scale watch <file.natbin>`: tails a growing natbin file and
+/// keeps the saturation report fresh through the online incremental engine.
+int run_watch(int argc, char** argv) {
+    std::string path;
+    std::size_t points = 48;
+    std::size_t threads = 0;
+    std::uint64_t every_events = 0;
+    double every_seconds = 0.0;
+    std::size_t poll_ms = 100;
+    std::size_t max_reports = 0;
+    std::string checkpoint_path;
+    UniformityMetric metric = UniformityMetric::mk_proximity;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--points=", 0) == 0) {
+            points = parse_count(arg, 9);
+        } else if (arg.rfind("--metric=", 0) == 0) {
+            metric = parse_metric(arg, 9);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = parse_count(arg, 10);
+        } else if (arg.rfind("--every-events=", 0) == 0) {
+            every_events = parse_count(arg, 15);
+        } else if (arg.rfind("--every-seconds=", 0) == 0) {
+            every_seconds = static_cast<double>(parse_count(arg, 16));
+        } else if (arg.rfind("--poll-ms=", 0) == 0) {
+            poll_ms = parse_count(arg, 10);
+        } else if (arg.rfind("--max-reports=", 0) == 0) {
+            max_reports = parse_count(arg, 14);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpoint_path = arg.substr(13);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (path.empty() || points < 2) {
+        usage();
+        return 2;
+    }
+    if (every_events == 0 && every_seconds == 0.0) every_events = 1;  // report on growth
+
+    const auto poll = std::chrono::milliseconds(poll_ms);
+    try {
+        // Wait until the writer has produced a parseable header (the file
+        // may not exist yet, or hold only part of the 64-byte header).
+        NatbinTail tail;
+        for (int attempt = 0;; ++attempt) {
+            try {
+                tail = open_natbin_tail(path);
+                break;
+            } catch (const std::exception&) {
+                // ~30 s of grace for the writer to appear, then give up.
+                if (attempt * poll_ms >= 30'000) throw;
+                std::this_thread::sleep_for(poll);
+            }
+        }
+
+        // The grid is fixed up front from the file's period of study: the
+        // batch search's coarse grid, so the converged report matches
+        // `find_time_scale <file> --points=N --refine-rounds=0` bitwise.
+        OnlineSweepOptions options;
+        options.grid = geometric_delta_grid(1, tail.period_end, points);
+        options.metric = metric;
+        options.num_threads = threads;
+
+        OnlineSweepEngine engine = [&] {
+            if (!checkpoint_path.empty() &&
+                std::filesystem::exists(checkpoint_path)) {
+                OnlineSweepEngine restored = load_checkpoint(checkpoint_path);
+                // The checkpoint must match both the file AND this run's
+                // analysis configuration: silently keeping a stale grid or
+                // metric would break the documented bit-identity with the
+                // batch run at the CURRENT flags.
+                const bool same_grid =
+                    std::equal(restored.grid().begin(), restored.grid().end(),
+                               options.grid.begin(), options.grid.end());
+                if (restored.num_nodes() != tail.num_nodes ||
+                    restored.directed() != tail.directed ||
+                    restored.synced_events() > tail.complete_records || !same_grid ||
+                    restored.options().metric != options.metric ||
+                    restored.options().histogram_bins != options.histogram_bins ||
+                    restored.options().shannon_slots != options.shannon_slots) {
+                    throw std::runtime_error(
+                        "checkpoint '" + checkpoint_path + "' does not match '" + path +
+                        "' with the current --points/--metric (delete it or rerun "
+                        "with the original flags)");
+                }
+                restored.set_num_threads(threads);  // runtime choice, not state
+                std::fprintf(stderr, "resumed from %s at %llu events\n",
+                             checkpoint_path.c_str(),
+                             static_cast<unsigned long long>(restored.synced_events()));
+                return restored;
+            }
+            return OnlineSweepEngine(tail.num_nodes, tail.directed, options);
+        }();
+
+        // The startup open above already validated every record present, so
+        // the first reopen only checks what was appended since.
+        std::uint64_t validated = tail.complete_records;
+        std::uint64_t reported_events = 0;
+        std::size_t reports = 0;
+        Stopwatch since_report;
+        for (;;) {
+            tail = open_natbin_tail(path, validated);
+            validated = tail.complete_records;
+            // Records are appended in (t, u, v) order, so everything before
+            // the last timestamp is final; once the writer finished, so is
+            // everything else.
+            const Time watermark =
+                tail.finished() ? kInfiniteTime
+                : tail.events.empty() ? 0
+                                      : tail.events.back().t;
+            engine.sync(tail.events,
+                        std::max<Time>(watermark, engine.synced_watermark()));
+
+            const bool due =
+                tail.finished() ||
+                (every_events != 0 && validated - reported_events >= every_events &&
+                 validated > 0) ||
+                (every_seconds != 0.0 && since_report.elapsed_seconds() >= every_seconds &&
+                 validated > reported_events);
+            if (due && validated > 0) {
+                Stopwatch refresh_watch;
+                const OnlineReport report = engine.refresh(tail.events);
+                emit_watch_report(report, engine.synced_watermark(), tail.finished(),
+                                  refresh_watch.elapsed_seconds(), metric);
+                if (!checkpoint_path.empty()) save_checkpoint(checkpoint_path, engine);
+                reported_events = validated;
+                since_report.reset();
+                ++reports;
+                if (max_reports != 0 && reports >= max_reports) break;
+            }
+            if (tail.finished()) break;
+            std::this_thread::sleep_for(poll);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +358,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (std::strcmp(argv[1], "convert") == 0) return run_convert(argc, argv);
+    if (std::strcmp(argv[1], "watch") == 0) return run_watch(argc, argv);
     std::string path;
     LoadOptions load_options;
     FormatChoice format = FormatChoice::automatic;
@@ -177,21 +373,14 @@ int main(int argc, char** argv) {
         if (arg == "--directed") {
             load_options.directed = true;
         } else if (arg.rfind("--metric=", 0) == 0) {
-            const std::string metric = arg.substr(9);
-            if (metric == "mk") {
-                options.metric = UniformityMetric::mk_proximity;
-            } else if (metric == "stddev") {
-                options.metric = UniformityMetric::std_deviation;
-            } else if (metric == "shannon") {
-                options.metric = UniformityMetric::shannon_entropy;
-            } else if (metric == "cre") {
-                options.metric = UniformityMetric::cre;
-            } else {
-                std::fprintf(stderr, "unknown metric '%s'\n", metric.c_str());
-                return 2;
-            }
+            options.metric = parse_metric(arg, 9);
         } else if (arg.rfind("--points=", 0) == 0) {
             options.coarse_points = parse_count(arg, 9);
+        } else if (arg.rfind("--refine-rounds=", 0) == 0) {
+            // Linear refinement rounds around the running optimum; 0 keeps
+            // the coarse geometric grid only — the mode whose output the
+            // online `watch` engine reproduces bit-for-bit.
+            options.refine_rounds = parse_count(arg, 16);
         } else if (arg.rfind("--threads=", 0) == 0) {
             // The Delta grid is swept in parallel; the result is identical
             // for every thread count (0 = all hardware threads).
@@ -205,17 +394,7 @@ int main(int argc, char** argv) {
         } else if (arg.rfind("--backend=", 0) == 0) {
             // Reachability storage: auto picks dense or sparse per scan from
             // n and event density; the result is identical either way.
-            const std::string backend = arg.substr(10);
-            if (backend == "auto") {
-                options.backend = ReachabilityBackend::automatic;
-            } else if (backend == "dense") {
-                options.backend = ReachabilityBackend::dense;
-            } else if (backend == "sparse") {
-                options.backend = ReachabilityBackend::sparse;
-            } else {
-                std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
-                return 2;
-            }
+            options.backend = parse_backend(arg, 10);
         } else if (arg.rfind("--format=", 0) == 0) {
             // Input encoding: auto sniffs the magic bytes; natbin streams
             // are mmap'd (analyzed out-of-core), text is parsed into RAM.

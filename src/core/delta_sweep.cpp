@@ -67,6 +67,16 @@ std::unique_ptr<MappedFile> spill_index(const std::vector<std::uint32_t>& index)
 
 }  // namespace
 
+DeltaPoint score_delta_point(Time delta, const Histogram01& histogram,
+                             std::size_t shannon_slots) {
+    DeltaPoint point;
+    point.delta = delta;
+    point.scores = compute_all_metrics(histogram, shannon_slots);
+    point.num_trips = histogram.total();
+    point.occupancy_mean = histogram.mean();
+    return point;
+}
+
 DeltaSweepEngine::DeltaSweepEngine(const LinkStream& stream, DeltaSweepOptions options)
     : stream_(&stream), options_(options) {
     using Aggregation = DeltaSweepOptions::Aggregation;
@@ -199,11 +209,7 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
             series, [&](const MinimalTrip& trip) { hist.add(series_occupancy(trip)); },
             scan_options);
 
-        DeltaPoint& point = points[index];
-        point.delta = grid[index];
-        point.scores = compute_all_metrics(hist, options_.shannon_slots);
-        point.num_trips = hist.total();
-        point.occupancy_mean = hist.mean();
+        points[index] = score_delta_point(grid[index], hist, options_.shannon_slots);
         if (histograms_out != nullptr) (*histograms_out)[index] = std::move(hist);
     });
     return points;
@@ -245,11 +251,7 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate_sharded(
         for (std::size_t t = plan.first_task[g] + 1; t < plan.first_task[g + 1]; ++t) {
             hist.merge(partials[t]);
         }
-        DeltaPoint& point = points[g];
-        point.delta = grid[g];
-        point.scores = compute_all_metrics(hist, options_.shannon_slots);
-        point.num_trips = hist.total();
-        point.occupancy_mean = hist.mean();
+        points[g] = score_delta_point(grid[g], hist, options_.shannon_slots);
         if (histograms_out != nullptr) (*histograms_out)[g] = std::move(hist);
     }
     return points;

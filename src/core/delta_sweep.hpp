@@ -54,6 +54,14 @@ struct DeltaPoint {
     double occupancy_mean = 0.0;
 };
 
+/// Scores one evaluated period from its occupancy histogram: all five
+/// uniformity metrics, trip count and mean.  This is THE per-period
+/// evaluation — evaluate() applies it to every grid point, and the online
+/// engine (online/incremental_sweep) applies it to incrementally maintained
+/// histograms, so batch and online points are computed by the same code.
+DeltaPoint score_delta_point(Time delta, const Histogram01& histogram,
+                             std::size_t shannon_slots);
+
 struct DeltaSweepOptions {
     /// Occupancy histogram resolution.
     std::size_t histogram_bins = Histogram01::kDefaultBins;

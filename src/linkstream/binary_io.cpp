@@ -9,10 +9,16 @@
 #include <type_traits>
 
 #include "util/contracts.hpp"
+#include "util/wire.hpp"
 
 namespace natscale {
 
 namespace {
+
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_u32;
+using wire::put_u64;
 
 // The zero-copy mmap path aliases the on-disk records as Events; these pin
 // down the layout it relies on.  A platform where they fail would need
@@ -29,26 +35,6 @@ constexpr bool kLittleEndian = std::endian::native == std::endian::little;
 
 /// Write buffer of the streaming writer: 16k events = 256 KiB per flush.
 constexpr std::size_t kWriterBufferEvents = 16 * 1024;
-
-void put_u32(std::byte* out, std::uint32_t value) {
-    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
-}
-
-void put_u64(std::byte* out, std::uint64_t value) {
-    for (int i = 0; i < 8; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
-}
-
-std::uint32_t get_u32(const std::byte* in) {
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) value |= std::uint32_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
-    return value;
-}
-
-std::uint64_t get_u64(const std::byte* in) {
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i) value |= std::uint64_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
-    return value;
-}
 
 void encode_event(std::byte* out, const Event& e) {
     if constexpr (kLittleEndian) {
@@ -101,8 +87,13 @@ std::vector<std::byte> encode_header(const NatbinHeader& h) {
 
 /// Parses and cross-checks the fixed header against the file size.  Every
 /// arithmetic step is overflow-checked so a hostile header can never drive
-/// an out-of-bounds read.
-NatbinHeader parse_header(const std::string& path, const std::byte* data, std::size_t size) {
+/// an out-of-bounds read.  In tail mode (`tail` true) the event-count
+/// cross-checks are skipped: a live file's header count lags the records on
+/// disk until the writer's finish(), and a trailing partial record is a
+/// writer mid-append — the caller derives the complete-record count from
+/// the file size instead.
+NatbinHeader parse_header(const std::string& path, const std::byte* data, std::size_t size,
+                          bool tail = false) {
     if (size < kNatbinHeaderBytes) {
         throw io_error(path, "truncated natbin header (" + std::to_string(size) +
                                  " bytes, need " + std::to_string(kNatbinHeaderBytes) + ")");
@@ -145,14 +136,17 @@ NatbinHeader parse_header(const std::string& path, const std::byte* data, std::s
         h.events_offset % kNatbinRecordBytes != 0) {
         throw io_error(path, "bad natbin section offsets");
     }
-    if (h.num_events > (size - h.events_offset) / kNatbinRecordBytes) {
-        throw io_error(path, "truncated natbin event records (" +
-                                 std::to_string(h.num_events) + " declared, file holds " +
-                                 std::to_string((size - h.events_offset) / kNatbinRecordBytes) +
-                                 ")");
-    }
-    if (h.events_offset + h.num_events * kNatbinRecordBytes != size) {
-        throw io_error(path, "trailing bytes after natbin event records");
+    if (!tail) {
+        if (h.num_events > (size - h.events_offset) / kNatbinRecordBytes) {
+            throw io_error(path, "truncated natbin event records (" +
+                                     std::to_string(h.num_events) + " declared, file holds " +
+                                     std::to_string((size - h.events_offset) /
+                                                    kNatbinRecordBytes) +
+                                     ")");
+        }
+        if (h.events_offset + h.num_events * kNatbinRecordBytes != size) {
+            throw io_error(path, "trailing bytes after natbin event records");
+        }
     }
     return h;
 }
@@ -320,6 +314,13 @@ void NatbinWriter::flush_buffer() {
     buffer_.clear();
 }
 
+void NatbinWriter::flush() {
+    NATSCALE_EXPECTS(!finished_);
+    flush_buffer();
+    os_.flush();
+    if (!os_) throw std::runtime_error("cannot flush natbin file '" + path_ + "'");
+}
+
 void NatbinWriter::finish() {
     if (finished_) return;
     finished_ = true;
@@ -368,6 +369,68 @@ LoadedStream load_impl(const std::string& path, bool prefer_mmap) {
 LoadedStream open_natbin(const std::string& path) { return load_impl(path, true); }
 
 LoadedStream load_natbin(const std::string& path) { return load_impl(path, false); }
+
+NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_prefix) {
+    auto file = std::make_shared<const MappedFile>(MappedFile::open(path));
+    const NatbinHeader h = parse_header(path, file->data(), file->size(), /*tail=*/true);
+
+    NatbinTail tail;
+    tail.num_nodes = h.num_nodes;
+    tail.period_end = h.period_end;
+    tail.directed = h.directed;
+    tail.header_num_events = h.num_events;
+    const std::size_t record_bytes = file->size() - h.events_offset;
+    tail.complete_records = record_bytes / kNatbinRecordBytes;
+    tail.trailing_bytes = record_bytes % kNatbinRecordBytes;
+    if (validated_prefix > tail.complete_records) {
+        throw io_error(path, "file shrank below the validated prefix (" +
+                                 std::to_string(tail.complete_records) + " records, " +
+                                 std::to_string(validated_prefix) + " previously seen)");
+    }
+
+    if (kLittleEndian && file->is_mapped()) {
+        tail.source = EventSource::mapped(file, h.events_offset,
+                                          static_cast<std::size_t>(tail.complete_records));
+    } else {
+        const std::byte* records = file->data() + h.events_offset;
+        std::vector<Event> events(static_cast<std::size_t>(tail.complete_records));
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            events[i] = decode_event(records + i * kNatbinRecordBytes);
+        }
+        tail.source = EventSource::owning(std::move(events));
+    }
+    tail.events = tail.source.events();
+
+    // Validate only the records appended since the caller's previous open;
+    // the boundary order check chains through the last validated record, so
+    // a polling reader pays O(new records) per reopen, not O(file).
+    const auto events = tail.events;
+    Event prev = validated_prefix > 0 ? events[static_cast<std::size_t>(validated_prefix) - 1]
+                                      : Event{0, 0, -1};
+    SequentialScan scan(tail.source);
+    for (std::size_t i = static_cast<std::size_t>(validated_prefix); i < events.size(); ++i) {
+        const Event e = events[i];
+        if (e.u >= h.num_nodes || e.v >= h.num_nodes) {
+            throw io_error(path, "event " + std::to_string(i) + " endpoint out of range");
+        }
+        if (e.u == e.v) {
+            throw io_error(path, "event " + std::to_string(i) + " is a self-loop");
+        }
+        if (!h.directed && e.u > e.v) {
+            throw io_error(path, "event " + std::to_string(i) +
+                                     " breaks the canonical u < v endpoint order");
+        }
+        if (e.t < 0 || e.t >= h.period_end) {
+            throw io_error(path, "event " + std::to_string(i) + " timestamp out of [0, T)");
+        }
+        if (prev.t >= 0 && e < prev) {
+            throw io_error(path, "event " + std::to_string(i) + " breaks (t, u, v) sort order");
+        }
+        prev = e;
+        scan.consumed(i);
+    }
+    return tail;
+}
 
 StreamFormat detect_stream_format(const std::string& path) {
     std::ifstream is(path, std::ios::binary);

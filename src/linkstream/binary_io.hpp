@@ -34,6 +34,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,55 @@ LoadedStream open_natbin(const std::string& path);
 /// endianness).  Same validation and errors as open_natbin.
 LoadedStream load_natbin(const std::string& path);
 
+/// A tail-mode view of a (possibly still growing) natbin file: the complete
+/// records present right now, mmap-backed where possible.  Unlike the strict
+/// loaders, tail mode tolerates a writer mid-append — a header event count
+/// not yet patched (NatbinWriter writes it on finish()) and a trailing
+/// partial record are both expected states of a live file, not corruption.
+struct NatbinTail {
+    NodeId num_nodes = 0;
+    Time period_end = 0;
+    bool directed = false;
+
+    /// Complete records in the file, derived from the file size (the header
+    /// count is advisory while a writer is active).
+    std::uint64_t complete_records = 0;
+
+    /// 0..15 bytes of a trailing partial record (a writer mid-append).
+    std::size_t trailing_bytes = 0;
+
+    /// num_events as declared by the header: 0 until the writer's finish()
+    /// patches it.
+    std::uint64_t header_num_events = 0;
+
+    /// The complete records, in canonical (t, u, v) order.  Valid for the
+    /// lifetime of this struct (whose `source` keeps the mapping / decoded
+    /// copy alive); a later reopen of the grown file yields a fresh view.
+    std::span<const Event> events;
+
+    /// True once the writer has finished the file (header count patched and
+    /// matching the bytes on disk): no more records will appear.
+    bool finished() const noexcept {
+        return header_num_events != 0 && header_num_events == complete_records &&
+               trailing_bytes == 0;
+    }
+
+    /// Storage behind `events`: the mmap window on little-endian hosts, an
+    /// owned decoded copy elsewhere.
+    EventSource source;
+};
+
+/// Opens a natbin file in tail mode.  The header is validated as usual, but
+/// the event-count cross-checks are relaxed: the record region is whatever
+/// the file size says it is, truncated to whole records.  Records
+/// [validated_prefix, complete_records) are validated (bounds, canonical
+/// endpoints, (t, u, v) order — including order against the last record of
+/// the prefix); pass the complete-record count of the previous open so a
+/// polling reader revalidates only what was appended.  Throws io_error on a
+/// malformed header or records, and when the file shrank below
+/// validated_prefix.
+NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_prefix = 0);
+
 /// Streaming writer for traces too large to materialize as a LinkStream
 /// (format conversion pipelines, the out-of-core scale tests).  Events must
 /// be appended in canonical order; finish() patches the event count into
@@ -86,6 +137,13 @@ public:
     /// non-canonical (u >= v on an undirected stream), or out of (t, u, v)
     /// order with respect to the previous append.
     void append(const Event& event);
+
+    /// Pushes every buffered record to the OS so a concurrent tail reader
+    /// (open_natbin_tail) observes all events appended so far — the
+    /// determinism hook of the `watch` smoke tests.  Does NOT patch the
+    /// header count: that is finish()'s signal that the file is complete.
+    /// Throws std::runtime_error on write failure.
+    void flush();
 
     std::uint64_t events_written() const noexcept { return count_; }
 

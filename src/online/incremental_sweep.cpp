@@ -1,0 +1,160 @@
+#include "online/incremental_sweep.hpp"
+
+#include <algorithm>
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+namespace {
+
+/// Feeds the events of windows [first event at `begin`, `end`) at period
+/// `delta` to the time-reversed sweep: one instant per non-empty window, in
+/// increasing window order, labeled -k (strictly decreasing — the order the
+/// backward kernel requires), arcs reversed when directed.  Emitted trips
+/// are mapped back to original orientation and window indices before
+/// reaching `sink`.  Preconditions: `begin` is the first event of its
+/// window (the callers' fold boundaries are window-aligned).
+template <typename Sink>
+void relax_windows(SparseTemporalReachability& sweep, bool directed,
+                   std::span<const Event> events, std::size_t begin, std::size_t end,
+                   Time delta, std::vector<Edge>& edge_scratch, Sink&& sink) {
+    std::size_t i = begin;
+    while (i < end) {
+        const WindowIndex k = window_of(events[i].t, delta);
+        edge_scratch.clear();
+        for (; i < end && window_of(events[i].t, delta) == k; ++i) {
+            // Reversing time reverses every arc; undirected edges are
+            // direction-expanded identically either way, so only directed
+            // streams swap endpoints here.
+            if (directed) {
+                edge_scratch.emplace_back(events[i].v, events[i].u);
+            } else {
+                edge_scratch.emplace_back(events[i].u, events[i].v);
+            }
+        }
+        sweep.relax_instant(edge_scratch, directed, -static_cast<Time>(k),
+                            [&](const MinimalTrip& trip) {
+                                // Reversed trip (a, b, -k2, -k1) is original
+                                // trip (b, a, k1, k2); hops and duration
+                                // (hence occupancy) are preserved.
+                                sink(MinimalTrip{trip.v, trip.u, -trip.arr, -trip.dep,
+                                                 trip.hops});
+                            });
+    }
+}
+
+/// First index in [begin, events.size()) with t >= bound (events are
+/// t-sorted).
+std::size_t partition_by_time(std::span<const Event> events, std::size_t begin, Time bound) {
+    const auto it = std::lower_bound(events.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     events.end(), bound,
+                                     [](const Event& e, Time t) { return e.t < t; });
+    return static_cast<std::size_t>(it - events.begin());
+}
+
+}  // namespace
+
+OnlineSweepEngine::OnlineSweepEngine(NodeId num_nodes, bool directed,
+                                     OnlineSweepOptions options)
+    : num_nodes_(num_nodes), directed_(directed), options_(std::move(options)) {
+    NATSCALE_EXPECTS(num_nodes >= 2);
+    NATSCALE_EXPECTS(!options_.grid.empty());
+    grid_ = options_.grid;
+    std::sort(grid_.begin(), grid_.end());
+    grid_.erase(std::unique(grid_.begin(), grid_.end()), grid_.end());
+    NATSCALE_EXPECTS(grid_.front() >= 1);
+
+    periods_.resize(grid_.size());
+    for (std::size_t g = 0; g < grid_.size(); ++g) {
+        PeriodState& period = periods_[g];
+        period.delta = grid_[g];
+        period.histogram = Histogram01(options_.histogram_bins);
+        period.sweep.begin(num_nodes_);
+    }
+}
+
+ThreadPool& OnlineSweepEngine::pool() {
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    return *pool_;
+}
+
+std::uint64_t OnlineSweepEngine::folded_events(std::size_t index) const {
+    NATSCALE_EXPECTS(index < periods_.size());
+    return periods_[index].folded;
+}
+
+void OnlineSweepEngine::sync(std::span<const Event> events, Time watermark) {
+    NATSCALE_EXPECTS(events.size() >= synced_events_);
+    NATSCALE_EXPECTS(watermark >= watermark_);
+    synced_events_ = events.size();
+    watermark_ = watermark;
+
+    pool().parallel_for(periods_.size(), [&](std::size_t index) {
+        PeriodState& period = periods_[index];
+        // Window k is sealed once watermark >= k * delta: every event of
+        // [(k-1)*delta, k*delta) is below the watermark, hence final and
+        // present.  seal_time is the exclusive bound of the sealed region —
+        // a window boundary, so the fold never splits a window.
+        const Time seal_time = (watermark_ / period.delta) * period.delta;
+        const std::size_t fold_end =
+            partition_by_time(events, static_cast<std::size_t>(period.folded), seal_time);
+        if (fold_end == period.folded) return;
+        std::vector<Edge> edge_scratch;
+        relax_windows(period.sweep, directed_, events,
+                      static_cast<std::size_t>(period.folded), fold_end, period.delta,
+                      edge_scratch, [&](const MinimalTrip& trip) {
+                          period.histogram.add(series_occupancy(trip));
+                      });
+        period.folded = fold_end;
+    });
+}
+
+OnlineReport OnlineSweepEngine::refresh(std::span<const Event> events,
+                                        std::vector<Histogram01>* histograms_out) {
+    NATSCALE_EXPECTS(events.size() >= synced_events_);
+
+    OnlineReport report;
+    report.points.resize(periods_.size());
+    report.events_covered = events.size();
+    if (histograms_out != nullptr) {
+        histograms_out->assign(periods_.size(), Histogram01(options_.histogram_bins));
+    }
+
+    pool().parallel_for(periods_.size(), [&](std::size_t index) {
+        const PeriodState& period = periods_[index];
+        // Clone the frozen state, sweep the unsealed tail on the clone, and
+        // score frozen + tail.  The clone makes refresh repeatable: the
+        // tail windows will be swept again (possibly extended) next time.
+        SparseTemporalReachability live = period.sweep;
+        Histogram01 histogram = period.histogram;
+        std::vector<Edge> edge_scratch;
+        relax_windows(live, directed_, events, static_cast<std::size_t>(period.folded),
+                      events.size(), period.delta, edge_scratch,
+                      [&](const MinimalTrip& trip) {
+                          histogram.add(series_occupancy(trip));
+                      });
+        report.points[index] =
+            score_delta_point(period.delta, histogram, options_.shannon_slots);
+        if (histograms_out != nullptr) (*histograms_out)[index] = std::move(histogram);
+    });
+
+    // argmax in ascending-delta order, first maximum wins: the exact tie
+    // rule of the batch search (core/saturation's argmax_index over the
+    // delta-sorted curve).
+    double best_score = -1.0;
+    for (std::size_t g = 0; g < report.points.size(); ++g) {
+        const double score = score_of(report.points[g].scores, options_.metric);
+        if (score > best_score) {
+            best_score = score;
+            report.best_index = g;
+        }
+    }
+    report.at_gamma = report.points[report.best_index];
+    report.gamma = report.at_gamma.delta;
+    return report;
+}
+
+}  // namespace natscale

@@ -1,0 +1,88 @@
+#include "online/stream_ingestor.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace natscale {
+
+StreamIngestor::StreamIngestor(NodeId num_nodes, bool directed, IngestorOptions options)
+    : num_nodes_(num_nodes), directed_(directed), options_(options) {
+    NATSCALE_EXPECTS(num_nodes >= 2);
+    NATSCALE_EXPECTS(options.reorder_horizon >= 0);
+    NATSCALE_EXPECTS(options.period_end >= 0);
+}
+
+void StreamIngestor::validate(const Event& event) const {
+    NATSCALE_EXPECTS(event.u < num_nodes_ && event.v < num_nodes_);
+    NATSCALE_EXPECTS(event.u != event.v);
+    NATSCALE_EXPECTS(directed_ || event.u < event.v);
+    NATSCALE_EXPECTS(event.t >= 0);
+    NATSCALE_EXPECTS(options_.period_end == 0 || event.t < options_.period_end);
+}
+
+bool StreamIngestor::append(const Event& event) {
+    NATSCALE_EXPECTS(!closed_);
+    validate(event);
+
+    if (event.t < watermark_) {
+        if (options_.late == LatePolicy::reject) {
+            NATSCALE_EXPECTS(event.t >= watermark_);  // late event on a reject-policy feed
+        }
+        ++counters_.late_dropped;
+        return false;
+    }
+    if (options_.duplicates == DuplicatePolicy::drop && buffer_.count(event) != 0) {
+        ++counters_.duplicates_dropped;
+        return false;
+    }
+    if (event.t < max_seen_) ++counters_.reordered;
+    buffer_.insert(event);
+    ++counters_.accepted;
+    if (event.t > max_seen_) {
+        max_seen_ = event.t;
+        const Time horizon = options_.reorder_horizon;
+        watermark_ = max_seen_ > horizon ? max_seen_ - horizon : 0;
+        drain();
+    }
+    return true;
+}
+
+void StreamIngestor::append(std::span<const Event> events) {
+    for (const Event& event : events) append(event);
+}
+
+void StreamIngestor::drain() {
+    // The multiset iterates in (t, u, v) order, so moving the sub-watermark
+    // prefix over preserves the canonical sort of finalized_.
+    auto it = buffer_.begin();
+    while (it != buffer_.end() && it->t < watermark_) {
+        finalized_.push_back(*it);
+        it = buffer_.erase(it);
+    }
+}
+
+void StreamIngestor::close() {
+    if (closed_) return;
+    closed_ = true;
+    // No event will ever arrive again, so "no future event has t < w" holds
+    // for every w: the infinite watermark lets the sweep engine seal even
+    // the final partial window.
+    watermark_ = kInfiniteTime;
+    drain();
+    NATSCALE_ENSURES(buffer_.empty());
+}
+
+std::vector<Event> StreamIngestor::pending() const {
+    return {buffer_.begin(), buffer_.end()};
+}
+
+std::vector<Event> StreamIngestor::snapshot_events() const {
+    std::vector<Event> events;
+    events.reserve(finalized_.size() + buffer_.size());
+    events.insert(events.end(), finalized_.begin(), finalized_.end());
+    events.insert(events.end(), buffer_.begin(), buffer_.end());
+    return events;
+}
+
+}  // namespace natscale

@@ -1,0 +1,128 @@
+// Timestamp-ordered append API for live link streams.
+//
+// The batch pipeline assumes a finished, (t, u, v)-sorted event list; a live
+// deployment receives events one at a time, slightly out of order, and
+// sometimes twice.  StreamIngestor is the boundary between the two worlds:
+// it validates and buffers appended events, reorders them within a bounded
+// horizon, applies the duplicate policy, and maintains a canonical sorted
+// `finalized()` prefix plus a `watermark()` — the time below which no
+// further event can appear.  Everything downstream (the incremental sweep
+// engine, checkpoints, the cold batch reference the tests compare against)
+// consumes exactly that canonical sequence.
+//
+// Ordering model.  Let max_t be the largest timestamp appended so far.  An
+// event is accepted iff t >= max_t - reorder_horizon; the watermark is
+// max_t - reorder_horizon (clamped to >= 0), and events with t < watermark
+// are drained from the reorder buffer into the finalized vector in (t, u, v)
+// order.  With reorder_horizon = 0 the input must be nondecreasing in t;
+// events at the current max_t stay buffered (a same-timestamp sibling may
+// still arrive) until a later timestamp or close() finalizes them.
+//
+// Duplicate policy.  An exact duplicate is a (u, v, t) triplet equal to an
+// event that has not been finalized yet (finalized events all precede the
+// watermark, arriving events cannot, so the buffer is the only place
+// duplicates can meet).  `keep` stores duplicates verbatim — harmless, the
+// aggregation dedups per window, and it matches what LinkStream does with
+// duplicated input; `drop` discards them and counts.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "linkstream/event.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// What to do with an appended (u, v, t) equal to a not-yet-finalized event.
+enum class DuplicatePolicy { keep, drop };
+
+/// What to do with an event older than the watermark (it missed the reorder
+/// horizon): `drop` counts and discards it, `reject` throws contract_error —
+/// for feeds where a late event means the producer is broken.
+enum class LatePolicy { drop, reject };
+
+struct IngestorOptions {
+    /// Maximum out-of-order slack, in ticks: an appended event may be up to
+    /// this much older than the newest timestamp seen.
+    Time reorder_horizon = 0;
+
+    DuplicatePolicy duplicates = DuplicatePolicy::keep;
+    LatePolicy late = LatePolicy::drop;
+
+    /// Exclusive end of the period of study; events at or beyond it are
+    /// rejected (contract_error).  0 = open-ended.
+    Time period_end = 0;
+};
+
+struct IngestorCounters {
+    std::uint64_t accepted = 0;            // buffered or finalized
+    std::uint64_t reordered = 0;           // accepted with t < max seen t
+    std::uint64_t duplicates_dropped = 0;  // DuplicatePolicy::drop discards
+    std::uint64_t late_dropped = 0;        // LatePolicy::drop discards
+};
+
+class StreamIngestor {
+public:
+    /// Fixes the node universe and directedness of the stream being built.
+    /// Preconditions: num_nodes >= 2; options.reorder_horizon >= 0;
+    /// options.period_end >= 0.
+    StreamIngestor(NodeId num_nodes, bool directed, IngestorOptions options = {});
+
+    /// Appends one event.  Returns true when the event entered the stream
+    /// (buffered or finalized), false when a policy discarded it.  Throws
+    /// contract_error on invalid events: endpoint out of range, self-loop,
+    /// u > v on an undirected stream, t < 0 or t >= period_end — and on
+    /// late events under LatePolicy::reject.
+    bool append(const Event& event);
+
+    /// Appends a batch, in order.
+    void append(std::span<const Event> events);
+
+    /// Declares the stream complete: drains the whole reorder buffer and
+    /// raises the watermark to kInfiniteTime (no event will ever arrive, so
+    /// every window of every period is sealed).  Further appends throw.
+    void close();
+
+    /// The canonical (t, u, v)-sorted finalized prefix.  The span is valid
+    /// until the next append()/close().
+    std::span<const Event> finalized() const noexcept { return finalized_; }
+
+    /// Events with t < watermark() are final: present in finalized() and no
+    /// future append can precede them.
+    Time watermark() const noexcept { return watermark_; }
+
+    /// Events currently held in the reorder buffer (t >= watermark), in
+    /// (t, u, v) order — refresh computations that must cover every
+    /// ingested event append these after finalized().
+    std::vector<Event> pending() const;
+
+    /// finalized() followed by pending(): every event ingested so far, in
+    /// canonical order — the exact stream a cold batch run would see.
+    std::vector<Event> snapshot_events() const;
+
+    const IngestorCounters& counters() const noexcept { return counters_; }
+    NodeId num_nodes() const noexcept { return num_nodes_; }
+    bool directed() const noexcept { return directed_; }
+    bool closed() const noexcept { return closed_; }
+    Time period_end() const noexcept { return options_.period_end; }
+
+private:
+    void validate(const Event& event) const;
+    void drain();
+
+    NodeId num_nodes_ = 0;
+    bool directed_ = false;
+    bool closed_ = false;
+    IngestorOptions options_;
+    IngestorCounters counters_;
+
+    Time max_seen_ = -1;
+    Time watermark_ = 0;
+    std::vector<Event> finalized_;
+    std::multiset<Event> buffer_;  // events with t >= watermark_
+};
+
+}  // namespace natscale

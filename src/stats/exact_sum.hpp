@@ -48,11 +48,24 @@ public:
         return a.limbs_ == b.limbs_;
     }
 
-private:
     /// Bit 0 of limb 0 weighs 2^-1074 (the smallest subnormal).  The largest
     /// finite double contributes up to bit 2097; a 2^64 count shifts that to
     /// 2161 and merge carries need a little more — 36 limbs = 2304 bits.
     static constexpr std::size_t kLimbs = 36;
+
+    /// The raw accumulator limbs — the complete state, which is a pure
+    /// function of the added multiset.  Restoring them verbatim (from_limbs)
+    /// reproduces the accumulator bit-for-bit, so checkpointed statistics
+    /// resume with the exact-merge guarantees intact (online/checkpoint).
+    const std::array<std::uint64_t, kLimbs>& limbs() const noexcept { return limbs_; }
+
+    static ExactSum from_limbs(const std::array<std::uint64_t, kLimbs>& limbs) noexcept {
+        ExactSum sum;
+        sum.limbs_ = limbs;
+        return sum;
+    }
+
+private:
     static constexpr int kBias = 1074;  // limb-array bit i weighs 2^(i - kBias)
 
     std::array<std::uint64_t, kLimbs> limbs_{};

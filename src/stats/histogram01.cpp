@@ -43,6 +43,20 @@ void Histogram01::merge(const Histogram01& other) {
     sum_sq_.merge(other.sum_sq_);
 }
 
+Histogram01 Histogram01::restore(std::vector<std::uint64_t> counts, std::uint64_t total,
+                                 ExactSum sum, ExactSum sum_sq) {
+    NATSCALE_EXPECTS(!counts.empty());
+    std::uint64_t check = 0;
+    for (const std::uint64_t c : counts) check += c;
+    NATSCALE_EXPECTS(check == total);
+    Histogram01 hist(counts.size());
+    hist.counts_ = std::move(counts);
+    hist.total_ = total;
+    hist.sum_ = sum;
+    hist.sum_sq_ = sum_sq;
+    return hist;
+}
+
 double Histogram01::mean() const noexcept {
     return total_ == 0 ? 0.0 : sum_.value() / static_cast<double>(total_);
 }

@@ -60,6 +60,19 @@ public:
 
     const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
 
+    /// The exact moment accumulators (Sigma x and Sigma x^2 of the clamped
+    /// samples) — together with counts() the histogram's complete state,
+    /// exposed for checkpoint serialization (online/checkpoint).
+    const ExactSum& moment_sum() const noexcept { return sum_; }
+    const ExactSum& moment_sum_sq() const noexcept { return sum_sq_; }
+
+    /// Rebuilds a histogram from state previously read back through
+    /// counts() / total() / moment_sum() / moment_sum_sq(); the result is
+    /// bit-identical to the accumulator it was read from.
+    /// Preconditions: counts non-empty and summing to total.
+    static Histogram01 restore(std::vector<std::uint64_t> counts, std::uint64_t total,
+                               ExactSum sum, ExactSum sum_sq);
+
     /// P(X > j/B) for j = 0..B: survival function at all bin edges.
     std::vector<double> survival_at_edges() const;
 

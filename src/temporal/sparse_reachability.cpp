@@ -11,6 +11,18 @@ void SparseTemporalReachability::prepare(NodeId n) {
     active_.clear();
 }
 
+void SparseTemporalReachability::restore_state(NodeId n, std::vector<Row> rows) {
+    NATSCALE_EXPECTS(rows.size() == n);
+    for (const Row& row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            NATSCALE_EXPECTS(row[i].v < n);
+            NATSCALE_EXPECTS(i == 0 || row[i - 1].v < row[i].v);
+        }
+    }
+    prepare(n);
+    rows_ = std::move(rows);
+}
+
 Time SparseTemporalReachability::arrival(NodeId u, NodeId v) const {
     NATSCALE_EXPECTS(u < n_ && v < n_);
     const Row& row = rows_[u];

@@ -55,7 +55,14 @@ public:
         NodeId v = 0;
         Hops hops = 0;
         Time arr = 0;
+
+        friend constexpr bool operator==(const Entry&, const Entry&) = default;
     };
+
+    /// Per-source state: finite entries sorted by v.  Exposed (with
+    /// state_rows / restore_state below) so the online engine's checkpoints
+    /// can serialize a sweep mid-stream and resume it bit-identically.
+    using Row = std::vector<Entry>;
 
     /// Enumerates all minimal trips of the series; same contract and same
     /// emission order as TemporalReachability::scan_series.
@@ -70,6 +77,63 @@ public:
     void scan_stream(const LinkStream& stream, Sink&& sink,
                      const ReachabilityOptions& options = {});
 
+    // --- resumable (instant-at-a-time) form ---------------------------------
+    //
+    // The batch scans above are each one closed sweep.  The entry points
+    // below expose the identical sweep one instant at a time, which is what
+    // makes the state reusable across calls: a caller may process a range of
+    // instants, keep the engine (it is cheaply copyable — plain vectors),
+    // and later continue with earlier instants.  The online subsystem
+    // (src/online) drives the forward incremental sweep through this API by
+    // feeding time-REVERSED instants: processing reversed labels in the
+    // decreasing order this engine requires is a forward pass over the
+    // original stream, so appending events extends the state instead of
+    // invalidating it.
+
+    /// Resets the sweep state for a node universe of size n.  Must be called
+    /// before the first relax_instant of a sweep (the batch scans call it
+    /// internally).
+    void begin(NodeId n) { prepare(n); }
+
+    /// Relaxes one instant: `edges` are the (possibly duplicated,
+    /// arbitrarily ordered) links occurring at `label`, deduplicated and
+    /// direction-expanded exactly as the batch scans do
+    /// (detail::build_instant_arcs), then processed by the unchanged kernel.
+    /// Instants must be fed in strictly decreasing label order within one
+    /// begin()/restore_state() session; trips are emitted exactly as the
+    /// batch scans emit them.
+    template <typename Sink>
+    void relax_instant(std::span<const Edge> edges, bool directed, Time label, Sink&& sink,
+                       const ReachabilityOptions& options = {}) {
+        NATSCALE_EXPECTS(options.distances == nullptr);  // dense backend only
+        detail::build_instant_arcs(arcs_, edges, directed);
+        process_instant(label, sink, options);
+    }
+
+    /// Period-range form of scan_series: sweeps only snapshots
+    /// [snap_begin, snap_end) of the series (indices into
+    /// series.snapshots(), still in backward order).  With `resume` false
+    /// the state is reset first; with `resume` true the sweep continues from
+    /// the existing state, so scanning [k, K) and then [0, k) with resume
+    /// emits exactly the trips (and leaves exactly the state) of one full
+    /// scan.  Preconditions: snap_begin <= snap_end <= snapshots().size();
+    /// when resuming, the previously processed instants all had larger
+    /// window indices.
+    template <typename Sink>
+    void scan_series_range(const GraphSeries& series, std::size_t snap_begin,
+                           std::size_t snap_end, bool resume, Sink&& sink,
+                           const ReachabilityOptions& options = {});
+
+    /// The whole sweep state, row per source.  With the entries of each row
+    /// restored verbatim, a sweep continues bit-identically — the
+    /// serialization surface of online/checkpoint.
+    const std::vector<Row>& state_rows() const noexcept { return rows_; }
+
+    /// Restores a state previously read back from state_rows().
+    /// Preconditions: rows.size() == n; every row sorted by strictly
+    /// increasing v with v < n.
+    void restore_state(NodeId n, std::vector<Row> rows);
+
     /// Final earliest-arrival state of the last scan (kInfiniteTime /
     /// kInfiniteHops when v is unreachable from u).
     Time arrival(NodeId u, NodeId v) const;
@@ -80,8 +144,6 @@ public:
     std::size_t num_finite_entries() const;
 
 private:
-    using Row = std::vector<Entry>;
-
     void prepare(NodeId n);
 
     template <typename Sink>
@@ -113,6 +175,26 @@ void SparseTemporalReachability::scan_series(const GraphSeries& series, Sink&& s
     for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
         detail::build_instant_arcs(arcs_, it->edges, series.directed());
         process_instant(it->k, sink, options);
+    }
+}
+
+template <typename Sink>
+void SparseTemporalReachability::scan_series_range(const GraphSeries& series,
+                                                   std::size_t snap_begin,
+                                                   std::size_t snap_end, bool resume,
+                                                   Sink&& sink,
+                                                   const ReachabilityOptions& options) {
+    NATSCALE_EXPECTS(options.distances == nullptr);  // dense backend only
+    const auto snapshots = series.snapshots();
+    NATSCALE_EXPECTS(snap_begin <= snap_end && snap_end <= snapshots.size());
+    if (!resume) {
+        prepare(series.num_nodes());
+    } else {
+        NATSCALE_EXPECTS(series.num_nodes() == n_);
+    }
+    for (std::size_t i = snap_end; i-- > snap_begin;) {
+        detail::build_instant_arcs(arcs_, snapshots[i].edges, series.directed());
+        process_instant(snapshots[i].k, sink, options);
     }
 }
 

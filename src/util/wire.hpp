@@ -1,0 +1,39 @@
+// Little-endian byte (de)serialization primitives.
+//
+// The on-disk formats of this library (the .natbin link-stream format of
+// linkstream/binary_io and the online-engine checkpoints of
+// online/checkpoint) are all little-endian with explicit byte shuffling, so
+// they are identical on every host regardless of native endianness.  These
+// helpers are the single definition both writers/parsers share.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace natscale::wire {
+
+inline void put_u32(std::byte* out, std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
+}
+
+inline void put_u64(std::byte* out, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) out[i] = static_cast<std::byte>(value >> (8 * i));
+}
+
+inline std::uint32_t get_u32(const std::byte* in) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= std::uint32_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+    }
+    return value;
+}
+
+inline std::uint64_t get_u64(const std::byte* in) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= std::uint64_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+    }
+    return value;
+}
+
+}  // namespace natscale::wire
