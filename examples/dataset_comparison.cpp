@@ -44,11 +44,11 @@ int main(int argc, char** argv) {
         if (arg == "--full") {
             full = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
-            num_threads = examples::parse_count(arg, 10);
+            num_threads = examples::parse_count(arg, "--threads=");
         } else if (arg.rfind("--scan-threads=", 0) == 0) {
-            scan_threads = examples::parse_count(arg, 15);
+            scan_threads = examples::parse_count(arg, "--scan-threads=");
         } else if (arg.rfind("--backend=", 0) == 0) {
-            backend = examples::parse_backend(arg, 10);
+            backend = examples::parse_backend(arg, "--backend=");
         } else {
             std::fprintf(stderr,
                          "usage: dataset_comparison [--full] [--threads=N]\n"
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
         const LinkStream stream = generate_replica(spec, /*seed=*/7);
         const auto stats = compute_stream_stats(stream);
 
-        SaturationOptions options;
+        SweepConfig options;
         options.coarse_points = full ? 48 : 32;
         options.num_threads = num_threads;
         options.scan_threads = scan_threads;

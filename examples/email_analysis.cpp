@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
     // --- The saturation scale ------------------------------------------------
     watch.reset();
-    SaturationOptions options;
+    SweepConfig options;
     options.coarse_points = full ? 48 : 32;
     const SaturationResult result = find_saturation_scale(stream, options);
     std::cout << "occupancy method finished in " << format_duration(watch.elapsed_seconds())

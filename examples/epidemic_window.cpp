@@ -58,16 +58,16 @@ LinkStream contact_stream() {
 }  // namespace
 
 int main(int argc, char** argv) {
-    SaturationOptions options;
+    SweepConfig options;
     options.coarse_points = 32;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--threads=", 0) == 0) {
-            options.num_threads = examples::parse_count(arg, 10);
+            options.num_threads = examples::parse_count(arg, "--threads=");
         } else if (arg.rfind("--scan-threads=", 0) == 0) {
-            options.scan_threads = examples::parse_count(arg, 15);
+            options.scan_threads = examples::parse_count(arg, "--scan-threads=");
         } else if (arg.rfind("--backend=", 0) == 0) {
-            options.backend = examples::parse_backend(arg, 10);
+            options.backend = examples::parse_backend(arg, "--backend=");
         } else {
             std::fprintf(stderr,
                          "usage: epidemic_window [--threads=N] [--scan-threads=N]\n"

@@ -1,25 +1,47 @@
 // Shared command-line parsing for the example programs.
 //
 // Every example that exposes the engine knobs (--threads / --scan-threads /
-// --backend / numeric options generally) parses them through these helpers,
-// so the hardened behavior — junk, negatives and trailing garbage exit 2
-// with a message instead of silently wrapping or aborting — is uniform
-// across find_time_scale, epidemic_window and dataset_comparison.
+// --backend / --metric / numeric options generally) parses them through
+// these helpers, so the hardened behavior — junk, negatives and trailing
+// garbage exit 2 with a message naming BOTH the offending value and the
+// flag it was passed to — is uniform across find_time_scale,
+// epidemic_window, dataset_comparison and the natscaled client.
+//
+// Helpers take the flag spelling itself (e.g. "--points="), which both
+// derives the value (no hand-counted prefix lengths) and lets the error
+// message name the flag (tests/test_example_cli.cpp locks this in).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "stats/uniformity.hpp"
 #include "temporal/reachability.hpp"
 
 namespace natscale::examples {
 
+/// The value part of `--flag=value`.  Preconditions: arg starts with flag.
+inline std::string option_value(const std::string& arg, const std::string& flag) {
+    return arg.substr(flag.size());
+}
+
+/// Exits 2 naming the value AND the flag it was passed to ("--points=", the
+/// parse site's spelling, is displayed without the trailing '=').
+[[noreturn]] inline void invalid_value(const std::string& flag, const std::string& value,
+                                       const char* expected) {
+    std::string name = flag;
+    if (!name.empty() && name.back() == '=') name.pop_back();
+    std::fprintf(stderr, "invalid value '%s' for option '%s' (expected %s)\n",
+                 value.c_str(), name.c_str(), expected);
+    std::exit(2);
+}
+
 /// Numeric value of an `--option=N` argument; exits with a message on junk
 /// (including negatives, which std::stoul would silently wrap, and trailing
 /// garbage, which it would silently drop).
-inline std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
-    const std::string value = arg.substr(prefix_len);
+inline std::size_t parse_count(const std::string& arg, const std::string& flag) {
+    const std::string value = option_value(arg, flag);
     try {
         std::size_t consumed = 0;
         const unsigned long parsed = std::stoul(value, &consumed);
@@ -28,19 +50,40 @@ inline std::size_t parse_count(const std::string& arg, std::size_t prefix_len) {
         }
         return static_cast<std::size_t>(parsed);
     } catch (const std::exception&) {
-        std::fprintf(stderr, "invalid number '%s' in '%s'\n", value.c_str(), arg.c_str());
-        std::exit(2);
+        invalid_value(flag, value, "a non-negative integer");
     }
 }
 
 /// `--backend=auto|dense|sparse`; exits 2 on anything else.
-inline ReachabilityBackend parse_backend(const std::string& arg, std::size_t prefix_len) {
-    const std::string value = arg.substr(prefix_len);
+inline ReachabilityBackend parse_backend(const std::string& arg, const std::string& flag) {
+    const std::string value = option_value(arg, flag);
     if (value == "auto") return ReachabilityBackend::automatic;
     if (value == "dense") return ReachabilityBackend::dense;
     if (value == "sparse") return ReachabilityBackend::sparse;
-    std::fprintf(stderr, "unknown backend '%s' in '%s'\n", value.c_str(), arg.c_str());
-    std::exit(2);
+    invalid_value(flag, value, "auto|dense|sparse");
+}
+
+/// `--metric=mk|stddev|shannon|cre`; exits 2 on anything else.
+inline UniformityMetric parse_metric(const std::string& arg, const std::string& flag) {
+    const std::string value = option_value(arg, flag);
+    if (value == "mk") return UniformityMetric::mk_proximity;
+    if (value == "stddev") return UniformityMetric::std_deviation;
+    if (value == "shannon") return UniformityMetric::shannon_entropy;
+    if (value == "cre") return UniformityMetric::cre;
+    invalid_value(flag, value, "mk|stddev|shannon|cre");
+}
+
+/// `--format=` / `--to=` values; `automatic` sniffs the file's magic bytes.
+enum class FormatChoice { automatic, text, natbin };
+
+inline FormatChoice parse_format(const std::string& arg, const std::string& flag,
+                                 bool allow_automatic) {
+    const std::string value = option_value(arg, flag);
+    if (value == "auto" && allow_automatic) return FormatChoice::automatic;
+    if (value == "text") return FormatChoice::text;
+    if (value == "natbin") return FormatChoice::natbin;
+    invalid_value(flag, value,
+                  allow_automatic ? "auto|text|natbin" : "text|natbin");
 }
 
 }  // namespace natscale::examples

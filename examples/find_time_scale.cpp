@@ -43,25 +43,25 @@
 #include <string>
 #include <thread>
 
-#include "core/delta_grid.hpp"
-#include "core/export.hpp"
 #include "core/report.hpp"
-#include "core/saturation.hpp"
 #include "core/segmentation.hpp"
 #include "examples/example_cli.hpp"
 #include "linkstream/binary_io.hpp"
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
+#include "natscale/api.hpp"
 #include "online/checkpoint.hpp"
 #include "online/incremental_sweep.hpp"
 #include "util/format.hpp"
 #include "util/gnuplot.hpp"
-#include "util/json.hpp"
 #include "util/timer.hpp"
 
 using namespace natscale;
+using examples::FormatChoice;
 using examples::parse_backend;
 using examples::parse_count;
+using examples::parse_format;
+using examples::parse_metric;
 
 namespace {
 
@@ -81,30 +81,6 @@ void usage() {
                  "                       [--every-events=N] [--every-seconds=S]\n"
                  "                       [--poll-ms=M] [--max-reports=N]\n"
                  "                       [--checkpoint=PATH]\n");
-}
-
-/// `--metric=` values; exits 2 on anything else.
-UniformityMetric parse_metric(const std::string& arg, std::size_t prefix_len) {
-    const std::string value = arg.substr(prefix_len);
-    if (value == "mk") return UniformityMetric::mk_proximity;
-    if (value == "stddev") return UniformityMetric::std_deviation;
-    if (value == "shannon") return UniformityMetric::shannon_entropy;
-    if (value == "cre") return UniformityMetric::cre;
-    std::fprintf(stderr, "unknown metric '%s'\n", value.c_str());
-    std::exit(2);
-}
-
-/// `--format=` / `--to=` values; `automatic` sniffs the file's magic bytes.
-enum class FormatChoice { automatic, text, natbin };
-
-FormatChoice parse_format(const std::string& arg, std::size_t prefix_len,
-                          bool allow_automatic) {
-    const std::string value = arg.substr(prefix_len);
-    if (value == "auto" && allow_automatic) return FormatChoice::automatic;
-    if (value == "text") return FormatChoice::text;
-    if (value == "natbin") return FormatChoice::natbin;
-    std::fprintf(stderr, "unknown format '%s' in '%s'\n", value.c_str(), arg.c_str());
-    std::exit(2);
 }
 
 /// Loads `path` honouring a forced format.  natbin goes through the
@@ -142,9 +118,9 @@ int run_convert(int argc, char** argv) {
         if (arg == "--directed") {
             load_options.directed = true;
         } else if (arg.rfind("--format=", 0) == 0) {
-            in_format = parse_format(arg, 9, true);
+            in_format = parse_format(arg, "--format=", true);
         } else if (arg.rfind("--to=", 0) == 0) {
-            out_format = parse_format(arg, 5, false);
+            out_format = parse_format(arg, "--to=", false);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -180,25 +156,19 @@ int run_convert(int argc, char** argv) {
     return 0;
 }
 
-/// One JSON report line of the watch loop.
+/// One JSON report line of the watch loop: the schema-1 saturation report
+/// (natscale/report_schema) — byte-identical field-for-field to a daemon
+/// saturation query over the same events.
 void emit_watch_report(const OnlineReport& report, Time watermark, bool finished,
                        double refresh_seconds, UniformityMetric metric) {
-    JsonWriter json;
-    json.begin_object();
-    json.field("events", report.events_covered);
-    json.field("watermark_ticks",
-               watermark == kInfiniteTime ? std::int64_t{-1}
-                                          : static_cast<std::int64_t>(watermark));
-    json.field("finished", finished);
-    json.field("gamma_ticks", static_cast<std::int64_t>(report.gamma));
-    json.field("metric", metric_name(metric));
-    json.field("score_at_gamma", score_of(report.at_gamma.scores, metric));
-    json.field("mk_proximity_at_gamma", report.at_gamma.scores.mk_proximity);
-    json.field("num_trips_at_gamma", report.at_gamma.num_trips);
-    json.field("occupancy_mean_at_gamma", report.at_gamma.occupancy_mean);
-    json.field("refresh_seconds", refresh_seconds);
-    json.end_object();
-    std::cout << json.str() << std::endl;  // flush: a pipe reader sees it now
+    ReportContext context;
+    context.events = report.events_covered;
+    context.watermark = watermark;
+    context.sealed_only = false;  // watch refreshes over the whole tail
+    context.finished = finished;
+    context.refresh_seconds = refresh_seconds;
+    // flush: a pipe reader sees it now
+    std::cout << online_report_json(report, metric, context) << std::endl;
 }
 
 /// `find_time_scale watch <file.natbin>`: tails a growing natbin file and
@@ -216,19 +186,19 @@ int run_watch(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--points=", 0) == 0) {
-            points = parse_count(arg, 9);
+            points = parse_count(arg, "--points=");
         } else if (arg.rfind("--metric=", 0) == 0) {
-            metric = parse_metric(arg, 9);
+            metric = parse_metric(arg, "--metric=");
         } else if (arg.rfind("--threads=", 0) == 0) {
-            threads = parse_count(arg, 10);
+            threads = parse_count(arg, "--threads=");
         } else if (arg.rfind("--every-events=", 0) == 0) {
-            every_events = parse_count(arg, 15);
+            every_events = parse_count(arg, "--every-events=");
         } else if (arg.rfind("--every-seconds=", 0) == 0) {
-            every_seconds = static_cast<double>(parse_count(arg, 16));
+            every_seconds = static_cast<double>(parse_count(arg, "--every-seconds="));
         } else if (arg.rfind("--poll-ms=", 0) == 0) {
-            poll_ms = parse_count(arg, 10);
+            poll_ms = parse_count(arg, "--poll-ms=");
         } else if (arg.rfind("--max-reports=", 0) == 0) {
-            max_reports = parse_count(arg, 14);
+            max_reports = parse_count(arg, "--max-reports=");
         } else if (arg.rfind("--checkpoint=", 0) == 0) {
             checkpoint_path = arg.substr(13);
         } else if (arg.rfind("--", 0) == 0) {
@@ -362,7 +332,7 @@ int main(int argc, char** argv) {
     std::string path;
     LoadOptions load_options;
     FormatChoice format = FormatChoice::automatic;
-    SaturationOptions options;
+    SweepConfig options;
     bool print_curve = false;
     bool print_json = false;
     bool print_segments = false;
@@ -373,32 +343,32 @@ int main(int argc, char** argv) {
         if (arg == "--directed") {
             load_options.directed = true;
         } else if (arg.rfind("--metric=", 0) == 0) {
-            options.metric = parse_metric(arg, 9);
+            options.metric = parse_metric(arg, "--metric=");
         } else if (arg.rfind("--points=", 0) == 0) {
-            options.coarse_points = parse_count(arg, 9);
+            options.coarse_points = parse_count(arg, "--points=");
         } else if (arg.rfind("--refine-rounds=", 0) == 0) {
             // Linear refinement rounds around the running optimum; 0 keeps
             // the coarse geometric grid only — the mode whose output the
             // online `watch` engine reproduces bit-for-bit.
-            options.refine_rounds = parse_count(arg, 16);
+            options.refine_rounds = parse_count(arg, "--refine-rounds=");
         } else if (arg.rfind("--threads=", 0) == 0) {
             // The Delta grid is swept in parallel; the result is identical
             // for every thread count (0 = all hardware threads).
-            options.num_threads = parse_count(arg, 10);
+            options.num_threads = parse_count(arg, "--threads=");
         } else if (arg.rfind("--scan-threads=", 0) == 0) {
             // Intra-scan column parallelism for the narrow refinement grids
             // (1 = off; any other value enables it, with total concurrency
             // still capped by --threads); gamma and the curve are identical
             // for every value.
-            options.scan_threads = parse_count(arg, 15);
+            options.scan_threads = parse_count(arg, "--scan-threads=");
         } else if (arg.rfind("--backend=", 0) == 0) {
             // Reachability storage: auto picks dense or sparse per scan from
             // n and event density; the result is identical either way.
-            options.backend = parse_backend(arg, 10);
+            options.backend = parse_backend(arg, "--backend=");
         } else if (arg.rfind("--format=", 0) == 0) {
             // Input encoding: auto sniffs the magic bytes; natbin streams
             // are mmap'd (analyzed out-of-core), text is parsed into RAM.
-            format = parse_format(arg, 9, true);
+            format = parse_format(arg, "--format=", true);
         } else if (arg == "--curve") {
             print_curve = true;
         } else if (arg == "--json") {

@@ -1,0 +1,142 @@
+// natscaled: the multi-client time-scale service daemon.
+//
+// Hosts many named link streams behind the NATSVC01 wire protocol
+// (docs/protocol.md): clients register or re-attach to streams, push
+// sequenced event batches, and query the current saturation scale, the
+// Gamma(Delta) curve, occupancy histograms or ingest status without
+// blocking each other's ingestion.  Answers over the sealed prefix are
+// bit-identical to a cold batch sweep of the same events
+// (find_time_scale --refine-rounds=0); CI locks this in.
+//
+//   natscaled --listen=unix:/tmp/natscale.sock
+//   natscaled --listen=tcp:127.0.0.1:0 --state-dir=/var/lib/natscale
+//
+// With --state-dir, checkpoint frames and graceful shutdown (SIGINT,
+// SIGTERM, or a shutdown frame) persist every stream; on restart the
+// daemon reloads them and ingestors resume from their acked sequence.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "examples/example_cli.hpp"
+#include "service/server.hpp"
+
+using natscale::service::Server;
+using natscale::service::ServerOptions;
+
+namespace {
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: natscaled [options]\n"
+                 "\n"
+                 "  --listen=unix:PATH       listen on a Unix socket (existing file replaced)\n"
+                 "  --listen=tcp:HOST:PORT   listen on numeric IPv4 HOST (port 0 = ephemeral,\n"
+                 "                           the bound port is printed on stdout)\n"
+                 "  --state-dir=DIR          persist streams to DIR (enables checkpoint/resume\n"
+                 "                           across restarts); created when missing\n"
+                 "  --workers=N              analysis worker threads (default 2)\n"
+                 "  --engine-threads=N       per-engine sweep threads (default 1; results are\n"
+                 "                           identical for every value)\n"
+                 "\n"
+                 "At least one --listen is required.  Both listener kinds may be active\n"
+                 "at once.  SIGINT/SIGTERM shut down gracefully (checkpointing first\n"
+                 "when --state-dir is set).\n");
+}
+
+Server* g_server = nullptr;
+
+// Async-signal-safe: Server::stop() is an atomic store + eventfd write.
+void handle_signal(int) {
+    if (g_server != nullptr) g_server->stop();
+}
+
+/// `--listen=unix:PATH` or `--listen=tcp:HOST:PORT` into `options`.
+void parse_listen(const std::string& arg, ServerOptions& options) {
+    const std::string value = natscale::examples::option_value(arg, "--listen=");
+    if (value.rfind("unix:", 0) == 0) {
+        options.unix_path = value.substr(5);
+        if (options.unix_path.empty()) {
+            natscale::examples::invalid_value("--listen=", value, "unix:PATH");
+        }
+        return;
+    }
+    if (value.rfind("tcp:", 0) == 0) {
+        const std::string rest = value.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+            natscale::examples::invalid_value("--listen=", value, "tcp:HOST:PORT");
+        }
+        options.tcp_host = rest.substr(0, colon);
+        const std::string port_text = rest.substr(colon + 1);
+        try {
+            std::size_t consumed = 0;
+            const unsigned long port = std::stoul(port_text, &consumed);
+            if (port_text[0] == '-' || consumed != port_text.size() || port > 65535) {
+                throw std::invalid_argument(port_text);
+            }
+            options.tcp_port = static_cast<std::uint16_t>(port);
+        } catch (const std::exception&) {
+            natscale::examples::invalid_value("--listen=", value,
+                                              "tcp:HOST:PORT with PORT in 0..65535");
+        }
+        return;
+    }
+    natscale::examples::invalid_value("--listen=", value, "unix:PATH or tcp:HOST:PORT");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ServerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--listen=", 0) == 0) {
+            parse_listen(arg, options);
+        } else if (arg.rfind("--state-dir=", 0) == 0) {
+            options.state_dir = arg.substr(12);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            options.workers = natscale::examples::parse_count(arg, "--workers=");
+        } else if (arg.rfind("--engine-threads=", 0) == 0) {
+            options.engine_threads =
+                natscale::examples::parse_count(arg, "--engine-threads=");
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (options.unix_path.empty() && options.tcp_host.empty()) {
+        std::fprintf(stderr, "natscaled: at least one --listen is required\n");
+        usage();
+        return 2;
+    }
+    if (options.workers == 0) {
+        natscale::examples::invalid_value("--workers=", "0", "at least 1");
+    }
+
+    try {
+        Server server(std::move(options));
+        g_server = &server;
+        std::signal(SIGINT, handle_signal);
+        std::signal(SIGTERM, handle_signal);
+        std::signal(SIGPIPE, SIG_IGN);
+        if (server.tcp_port() != 0) {
+            // Scripts (CI daemon-smoke) read the ephemeral port from here.
+            std::printf("natscaled listening tcp port %u\n",
+                        static_cast<unsigned>(server.tcp_port()));
+            std::fflush(stdout);
+        }
+        server.run();
+        g_server = nullptr;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "natscaled: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -67,7 +67,7 @@ int main() {
         sampling.sampling_period = polling;
         const LinkStream stream = oversample(contacts, sampling);
 
-        SaturationOptions options;
+        SweepConfig options;
         options.coarse_points = 28;
         options.min_delta = polling;  // no sense probing below the sensor clock
         const SaturationResult result = find_saturation_scale(stream, options);

@@ -40,7 +40,7 @@ int main() {
                 snapshot.num_edges(), density(snapshot));
 
     // 3. The occupancy method: fully automatic, no parameters needed.
-    SaturationOptions options;
+    SweepConfig options;
     options.coarse_points = 32;
     const SaturationResult result = find_saturation_scale(stream, options);
     std::printf("saturation scale: %s\n", saturation_summary(result).c_str());

@@ -37,6 +37,7 @@
 
 #include "linkstream/graph_series.hpp"
 #include "linkstream/link_stream.hpp"
+#include "natscale/sweep_config.hpp"
 #include "stats/histogram01.hpp"
 #include "stats/uniformity.hpp"
 #include "temporal/reachability.hpp"
@@ -93,38 +94,22 @@ struct DeltaSweepOptions {
     /// of threads x n^2 x 12 B.
     ReachabilityBackend backend = ReachabilityBackend::automatic;
 
-    /// How aggregate() materializes each snapshot list.  All three produce
-    /// bit-identical GraphSeries (hence bit-identical evaluated points):
+    /// How aggregate() materializes each snapshot list.  The enumerators
+    /// live at namespace scope now (natscale/sweep_config.hpp, shared with
+    /// SweepConfig); the nested names remain as aliases for existing
+    /// callers.  All three modes produce bit-identical GraphSeries (hence
+    /// bit-identical evaluated points).
     ///
-    ///   pair_index — the precomputed (u, v, t) index over the source:
-    ///                O(E) per Delta with no per-window sort, at 4 B/event
-    ///                of index plus random access into the event storage
-    ///                (which pins an mmap-backed trace resident).
-    ///   chunked    — the window-sequential out-of-core pipeline of
-    ///                linkstream/aggregation: per-window sort+dedup with
-    ///                consumed mmap pages released behind the scan; peak
-    ///                residency is the per-window working set.
-    ///   automatic  — pair_index for memory-resident sources, chunked for
-    ///                mmap-backed ones.
-    enum class Aggregation { automatic, pair_index, chunked };
+    /// Note that pair-index aggregate() allocates a transient 4 B/event
+    /// slot array per call (per worker under evaluate()); on traces where
+    /// that matters, prefer chunked — which `automatic` picks for mmap
+    /// sources anyway.
+    using Aggregation = SweepAggregation;
     Aggregation aggregation = Aggregation::automatic;
 
-    /// Where the pair-order index lives (pair_index mode only).
-    ///
-    ///   never     — an in-RAM std::vector (4 B/event).
-    ///   always    — spilled to a mmap'd unlinked temp file, so the only
-    ///               RAM it pins is its resident window; the build still
-    ///               sorts in RAM first, the spill frees that afterwards.
-    ///   automatic — spill only when the event source itself is mmap-backed
-    ///               (the out-of-core regime where 4 B/event matters).
-    ///
-    /// Spilling is best-effort: if the temp file cannot be written or
-    /// mapped, the index silently stays in RAM.  Note that pair-index
-    /// aggregate() additionally allocates a transient 4 B/event slot array
-    /// per call (per worker under evaluate()); on traces where that
-    /// matters, prefer Aggregation::chunked — which `automatic` picks for
-    /// mmap sources anyway.
-    enum class IndexSpill { automatic, never, always };
+    /// Where the pair-order index lives (pair_index mode only); see
+    /// IndexSpillMode in natscale/sweep_config.hpp.
+    using IndexSpill = IndexSpillMode;
     IndexSpill index_spill = IndexSpill::automatic;
 };
 

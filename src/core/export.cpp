@@ -1,5 +1,6 @@
 #include "core/export.hpp"
 
+#include "natscale/report_schema.hpp"
 #include "util/json.hpp"
 
 namespace natscale {
@@ -7,6 +8,7 @@ namespace natscale {
 std::string saturation_result_to_json(const SaturationResult& result) {
     JsonWriter json;
     json.begin_object();
+    json.field("schema", kReportSchemaVersion);
     json.field("gamma_ticks", static_cast<std::int64_t>(result.gamma));
     json.field("metric", metric_name(result.metric));
     json.field("num_trips_at_gamma", static_cast<std::uint64_t>(result.at_gamma.num_trips));
@@ -14,14 +16,7 @@ std::string saturation_result_to_json(const SaturationResult& result) {
     json.begin_array("curve");
     for (const auto& point : result.curve) {
         json.begin_object();
-        json.field("delta", static_cast<std::int64_t>(point.delta));
-        json.field("mk_proximity", point.scores.mk_proximity);
-        json.field("std_deviation", point.scores.std_deviation);
-        json.field("shannon_entropy", point.scores.shannon_entropy);
-        json.field("cre", point.scores.cre);
-        json.field("variation_coefficient", point.scores.variation_coefficient);
-        json.field("num_trips", static_cast<std::uint64_t>(point.num_trips));
-        json.field("occupancy_mean", point.occupancy_mean);
+        write_delta_point_fields(json, point);
         json.end_object();
     }
     json.end_array();
@@ -40,6 +35,7 @@ std::string saturation_result_to_json(const SaturationResult& result) {
 std::string stream_stats_to_json(const StreamStats& stats) {
     JsonWriter json;
     json.begin_object();
+    json.field("schema", kReportSchemaVersion);
     json.field("num_nodes", static_cast<std::uint64_t>(stats.num_nodes));
     json.field("num_events", static_cast<std::uint64_t>(stats.num_events));
     json.field("period_end_ticks", static_cast<std::int64_t>(stats.period_end));
@@ -54,6 +50,7 @@ std::string stream_stats_to_json(const StreamStats& stats) {
 std::string segmented_saturation_to_json(const SegmentedSaturation& result) {
     JsonWriter json;
     json.begin_object();
+    json.field("schema", kReportSchemaVersion);
     json.field("split", result.split);
     json.field("gamma_high_ticks", static_cast<std::int64_t>(result.gamma_high));
     json.field("gamma_low_ticks", static_cast<std::int64_t>(result.gamma_low));

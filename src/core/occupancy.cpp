@@ -58,6 +58,12 @@ Histogram01 occupancy_histogram(const LinkStream& stream, Time delta, std::size_
     return occupancy_histogram(aggregate(stream, delta), num_bins, backend, scan_threads);
 }
 
+Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
+                                const SweepConfig& config) {
+    return occupancy_histogram(stream, delta, config.histogram_bins, config.backend,
+                               config.scan_threads);
+}
+
 EmpiricalDistribution occupancy_distribution(const GraphSeries& series,
                                              ReachabilityBackend backend) {
     EmpiricalDistribution dist;

@@ -12,6 +12,7 @@
 
 #include "linkstream/graph_series.hpp"
 #include "linkstream/link_stream.hpp"
+#include "natscale/sweep_config.hpp"
 #include "stats/empirical_distribution.hpp"
 #include "stats/histogram01.hpp"
 #include "temporal/reachability.hpp"
@@ -45,6 +46,13 @@ Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
                                 std::size_t num_bins = Histogram01::kDefaultBins,
                                 ReachabilityBackend backend = ReachabilityBackend::automatic,
                                 std::size_t scan_threads = 1);
+
+/// SweepConfig-driven variant of the single-period histogram: reads the
+/// histogram_bins / backend / scan_threads knobs of the unified config
+/// (natscale/sweep_config.hpp) and ignores the rest.  Identical output to
+/// the explicit-knob overload above.
+Histogram01 occupancy_histogram(const LinkStream& stream, Time delta,
+                                const SweepConfig& config);
 
 /// Exact sample-storing variant for small series and for the tests.
 EmpiricalDistribution occupancy_distribution(

@@ -22,18 +22,20 @@ Time SaturationResult::gamma_for(UniformityMetric which) const {
     return best_delta;
 }
 
-DeltaSweepOptions sweep_options_of(const SaturationOptions& options) {
+DeltaSweepOptions sweep_options_of(const SweepConfig& options) {
     DeltaSweepOptions sweep;
     sweep.histogram_bins = options.histogram_bins;
     sweep.shannon_slots = options.shannon_slots;
     sweep.num_threads = options.num_threads;
     sweep.scan_threads = options.scan_threads;
     sweep.backend = options.backend;
+    sweep.aggregation = options.aggregation;
+    sweep.index_spill = options.index_spill;
     return sweep;
 }
 
 DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
-                          const SaturationOptions& options, Histogram01* histogram_out) {
+                          const SweepConfig& options, Histogram01* histogram_out) {
     DeltaPoint point;
     point.delta = delta;
     Histogram01 hist = occupancy_histogram(stream, delta, options.histogram_bins,
@@ -95,7 +97,7 @@ std::size_t argmax_index(const std::vector<CurvePoint>& curve, UniformityMetric 
 }  // namespace
 
 SaturationResult find_saturation_scale(const LinkStream& stream,
-                                       const SaturationOptions& options) {
+                                       const SweepConfig& options) {
     NATSCALE_EXPECTS(!stream.empty());
     NATSCALE_EXPECTS(options.coarse_points >= 2);
 

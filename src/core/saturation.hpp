@@ -19,57 +19,22 @@
 
 #include "core/delta_sweep.hpp"
 #include "linkstream/link_stream.hpp"
+#include "natscale/sweep_config.hpp"
 #include "stats/histogram01.hpp"
 #include "stats/uniformity.hpp"
 #include "util/types.hpp"
 
 namespace natscale {
 
-struct SaturationOptions {
-    /// Metric whose maximum defines gamma (paper default: M-K proximity).
-    UniformityMetric metric = UniformityMetric::mk_proximity;
+/// Deprecated alias: the saturation-search knobs are the selection and
+/// execution sections of the unified SweepConfig (natscale/sweep_config.hpp)
+/// now.  Every field keeps its name and default, so existing callers
+/// compile unchanged; new code should say SweepConfig.
+using SaturationOptions = SweepConfig;
 
-    /// Points of the initial geometric grid over [min_delta, max_delta].
-    std::size_t coarse_points = 48;
-
-    /// Linear refinement rounds around the running optimum, and points per
-    /// round.  0 rounds = coarse grid only.
-    std::size_t refine_rounds = 2;
-    std::size_t refine_points = 12;
-
-    /// Occupancy histogram resolution.
-    std::size_t histogram_bins = Histogram01::kDefaultBins;
-
-    /// Slot count for the Shannon-entropy metric (Section 7 uses 10).
-    std::size_t shannon_slots = 10;
-
-    /// Sweep range; 0 means "use the natural bound" (1 tick / T).
-    Time min_delta = 0;
-    Time max_delta = 0;
-
-    /// Threads for the per-Delta fan-out of the grid evaluations; 0 =
-    /// hardware concurrency, 1 = sequential.  The result is bit-identical
-    /// for every thread count (see core/delta_sweep).
-    std::size_t num_threads = 0;
-
-    /// Intra-scan column parallelism (temporal/column_shards) for the grids
-    /// that are too narrow to saturate the pool with whole-period tasks —
-    /// typically the linear refinement rounds, which evaluate only the 3-8
-    /// periods missing around the running optimum.  1 = disabled (default);
-    /// any other value enables the decomposition, whose tasks share the
-    /// num_threads-wide pool (num_threads remains the concurrency cap).
-    /// gamma, the curve, and the gamma histogram are bit-identical for
-    /// every value (see core/delta_sweep).
-    std::size_t scan_threads = 1;
-
-    /// Reachability backend of the per-Delta scans; `automatic` picks dense
-    /// or sparse from n and event density.  gamma, the curve, and the gamma
-    /// histogram are bit-identical for every choice.
-    ReachabilityBackend backend = ReachabilityBackend::automatic;
-};
-
-/// Sweep options matching a SaturationOptions (same bins / slots / threads).
-DeltaSweepOptions sweep_options_of(const SaturationOptions& options);
+/// Sweep options matching a SweepConfig (same bins / slots / threads /
+/// backend / aggregation).
+DeltaSweepOptions sweep_options_of(const SweepConfig& options);
 
 struct SaturationResult {
     /// The saturation scale gamma, in ticks.
@@ -101,13 +66,13 @@ struct SaturationResult {
 /// gamma histogram stay bit-identical to the in-memory path for every
 /// backend and thread count.  Preconditions: stream non-empty.
 SaturationResult find_saturation_scale(const LinkStream& stream,
-                                       const SaturationOptions& options = {});
+                                       const SweepConfig& options = {});
 
 /// Evaluates a single aggregation period (one O(nM) sweep).  This is the
 /// legacy single-period reference path — independent of DeltaSweepEngine —
 /// kept as the ground truth the batched sweep is tested against.  For more
 /// than a couple of periods, build a DeltaSweepEngine instead.
 DeltaPoint evaluate_delta(const LinkStream& stream, Time delta,
-                          const SaturationOptions& options, Histogram01* histogram_out = nullptr);
+                          const SweepConfig& options, Histogram01* histogram_out = nullptr);
 
 }  // namespace natscale

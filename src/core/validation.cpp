@@ -107,7 +107,7 @@ ElongationPoint elongation_at(const LinkStream& stream, Time delta,
 
 std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
                                               const std::vector<Time>& deltas,
-                                              const ElongationOptions& options) {
+                                              const SweepConfig& options) {
     // Choose a pair-sampling divisor that keeps the store within budget.
     std::uint64_t divisor = 1;
     if (options.max_stored_trips > 0) {

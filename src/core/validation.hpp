@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linkstream/link_stream.hpp"
+#include "natscale/sweep_config.hpp"
 #include "temporal/reachability.hpp"
 #include "temporal/transitions.hpp"
 #include "temporal/trip_store.hpp"
@@ -41,30 +42,11 @@ struct ElongationPoint {
     std::uint64_t measured_trips = 0;  // trips with dep != arr among sampled pairs
 };
 
-struct ElongationOptions {
-    /// Upper bound on stored stream trips; the pair-sampling divisor is
-    /// chosen automatically as ceil(total/limit).  0 disables sampling.
-    std::uint64_t max_stored_trips = 4'000'000;
-
-    /// Threads for the per-period fan-out (the periods are independent);
-    /// 0 = hardware concurrency, 1 = sequential.  The curve is bit-identical
-    /// for every thread count.
-    std::size_t num_threads = 0;
-
-    /// Intra-scan column parallelism (temporal/column_shards) for narrow
-    /// period lists: 1 = disabled (default); any other value enables the
-    /// per-shard decomposition, whose tasks share the num_threads-wide pool
-    /// (num_threads remains the concurrency cap).  The per-trip elongation
-    /// terms accumulate in exact, order-independent sums
-    /// (stats/exact_sum.hpp), so the curve is bit-identical for every
-    /// (num_threads, scan_threads) combination.
-    std::size_t scan_threads = 1;
-
-    /// Reachability backend of the per-period series scans; `automatic`
-    /// picks dense or sparse from n and event density.  The curve is
-    /// bit-identical for every choice.
-    ReachabilityBackend backend = ReachabilityBackend::automatic;
-};
+/// Deprecated alias: the elongation knobs (max_stored_trips plus the shared
+/// execution section) live in the unified SweepConfig now
+/// (natscale/sweep_config.hpp).  Every field keeps its name and default, so
+/// existing callers compile unchanged; new code should say SweepConfig.
+using ElongationOptions = SweepConfig;
 
 /// Fig. 8 right: mean elongation factor e_P = (t_v - t_u + 1) * Delta /
 /// time_L(P) (Definition 8) of the minimal trips of G_Delta, per period.
@@ -75,7 +57,7 @@ struct ElongationOptions {
 /// util/thread_pool.
 std::vector<ElongationPoint> elongation_curve(const LinkStream& stream,
                                               const std::vector<Time>& deltas,
-                                              const ElongationOptions& options = {});
+                                              const SweepConfig& options = {});
 
 /// Single-period elongation against a prebuilt trip store (whose sampling
 /// divisor is reused for the series scan).

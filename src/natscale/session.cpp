@@ -1,0 +1,250 @@
+#include "natscale/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/delta_grid.hpp"
+#include "linkstream/io.hpp"
+#include "online/checkpoint.hpp"
+#include "util/contracts.hpp"
+#include "util/wire.hpp"
+
+namespace natscale {
+
+namespace {
+
+constexpr char kSessionMagic[8] = {'N', 'A', 'T', 'S', 'S', 'E', 'S', '1'};
+constexpr std::uint32_t kSessionVersion = 1;
+constexpr std::uint32_t kFlagDirected = 1u << 0;
+constexpr std::uint32_t kFlagClosed = 1u << 1;
+constexpr std::uint32_t kFlagDropDuplicates = 1u << 2;
+constexpr std::uint32_t kFlagRejectLate = 1u << 3;
+constexpr std::uint32_t kKnownFlags =
+    kFlagDirected | kFlagClosed | kFlagDropDuplicates | kFlagRejectLate;
+constexpr std::size_t kFixedHeaderBytes = 72;
+constexpr std::size_t kEventBytes = 16;  // u u32, v u32, t i64
+
+/// Bounds-checked forward reader over the snapshot payload (same shape as
+/// the checkpoint reader; failures name the snapshot's source).
+class Reader {
+public:
+    Reader(const std::string& context, const std::byte* data, std::size_t size)
+        : context_(&context), data_(data), size_(size) {}
+
+    std::uint32_t u32() { return wire::get_u32(take(4)); }
+    std::uint64_t u64() { return wire::get_u64(take(8)); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    const std::byte* take(std::size_t count) {
+        if (count > size_ - pos_) throw io_error(*context_, "truncated session snapshot");
+        const std::byte* at = data_ + pos_;
+        pos_ += count;
+        return at;
+    }
+
+    /// Remaining payload can hold `count` items of `item_bytes` each —
+    /// checked BEFORE any allocation sized from an untrusted count.
+    void require_items(std::uint64_t count, std::size_t item_bytes) const {
+        if (count > (size_ - pos_) / item_bytes) {
+            throw io_error(*context_, "truncated session snapshot");
+        }
+    }
+
+    std::size_t position() const { return pos_; }
+
+private:
+    const std::string* context_;
+    const std::byte* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+OnlineSweepOptions engine_options_of(const SessionOptions& options,
+                                     std::vector<Time> grid) {
+    OnlineSweepOptions engine;
+    engine.grid = std::move(grid);
+    engine.histogram_bins = options.config.histogram_bins;
+    engine.shannon_slots = options.config.shannon_slots;
+    engine.metric = options.config.metric;
+    engine.num_threads = options.config.num_threads;
+    return engine;
+}
+
+std::vector<Time> resolve_grid(const SessionOptions& options) {
+    if (!options.grid.empty()) return options.grid;
+    // An empty grid needs a bounded period of study to derive the default
+    // coarse grid from.
+    NATSCALE_EXPECTS(options.ingest.period_end > 0);
+    return geometric_delta_grid(1, options.ingest.period_end,
+                                options.config.coarse_points);
+}
+
+}  // namespace
+
+StreamSession::StreamSession(NodeId num_nodes, bool directed, SessionOptions options)
+    : options_(std::move(options)),
+      ingestor_(num_nodes, directed, options_.ingest),
+      engine_(num_nodes, directed, engine_options_of(options_, resolve_grid(options_))) {}
+
+void StreamSession::sync() {
+    engine_.sync(ingestor_.finalized(), ingestor_.watermark());
+}
+
+OnlineReport StreamSession::report(bool sealed_only,
+                                   std::vector<Histogram01>* histograms_out) {
+    sync();
+    if (sealed_only) return engine_.refresh(ingestor_.finalized(), histograms_out);
+    const std::vector<Event> events = ingestor_.snapshot_events();
+    return engine_.refresh(events, histograms_out);
+}
+
+Histogram01 StreamSession::histogram_at(Time delta, bool sealed_only) {
+    const std::span<const Time> grid = engine_.grid();
+    const auto at = std::find(grid.begin(), grid.end(), delta);
+    NATSCALE_EXPECTS(at != grid.end());  // delta must be a maintained grid period
+    std::vector<Histogram01> histograms;
+    report(sealed_only, &histograms);
+    return std::move(histograms[static_cast<std::size_t>(at - grid.begin())]);
+}
+
+std::vector<std::byte> StreamSession::serialize() {
+    sync();  // fold sealed windows so the embedded checkpoint is current
+    wire::Writer out;
+    out.raw(kSessionMagic, sizeof(kSessionMagic));
+    out.u32(kSessionVersion);
+    std::uint32_t flags = 0;
+    if (ingestor_.directed()) flags |= kFlagDirected;
+    if (ingestor_.closed()) flags |= kFlagClosed;
+    if (options_.ingest.duplicates == DuplicatePolicy::drop) flags |= kFlagDropDuplicates;
+    if (options_.ingest.late == LatePolicy::reject) flags |= kFlagRejectLate;
+    out.u32(flags);
+    out.u64(ingestor_.num_nodes());
+    out.i64(options_.ingest.period_end);
+    out.i64(options_.ingest.reorder_horizon);
+    const IngestorCounters& counters = ingestor_.counters();
+    out.u64(counters.accepted);
+    out.u64(counters.reordered);
+    out.u64(counters.duplicates_dropped);
+    out.u64(counters.late_dropped);
+    const std::vector<Event> events = ingestor_.snapshot_events();
+    out.u64(events.size());
+    for (const Event& event : events) {
+        out.u32(event.u);
+        out.u32(event.v);
+        out.i64(event.t);
+    }
+    const std::vector<std::byte> checkpoint = serialize_checkpoint(engine_);
+    out.u64(checkpoint.size());
+    out.raw(checkpoint.data(), checkpoint.size());
+    out.u64(wire::fnv1a64(out.bytes().data(), out.bytes().size()));
+    return std::move(out.bytes());
+}
+
+StreamSession StreamSession::restore(std::span<const std::byte> bytes,
+                                     const std::string& context) {
+    const std::size_t size = bytes.size();
+    if (size < kFixedHeaderBytes + 8) {
+        throw io_error(context, "truncated session snapshot header");
+    }
+    const std::uint64_t declared = wire::get_u64(bytes.data() + size - 8);
+    if (declared != wire::fnv1a64(bytes.data(), size - 8)) {
+        throw io_error(context, "session snapshot checksum mismatch");
+    }
+
+    Reader in(context, bytes.data(), size - 8);
+    if (std::memcmp(in.take(sizeof(kSessionMagic)), kSessionMagic,
+                    sizeof(kSessionMagic)) != 0) {
+        throw io_error(context, "not a natscale session snapshot (bad magic)");
+    }
+    const std::uint32_t version = in.u32();
+    if (version != kSessionVersion) {
+        throw io_error(context,
+                       "unsupported session snapshot version " + std::to_string(version));
+    }
+    const std::uint32_t flags = in.u32();
+    if ((flags & ~kKnownFlags) != 0) {
+        throw io_error(context, "unknown session snapshot flags");
+    }
+    const std::uint64_t nodes = in.u64();
+    if (nodes < 2 || nodes > std::numeric_limits<NodeId>::max()) {
+        throw io_error(context, "bad session snapshot node count");
+    }
+
+    SessionOptions options;
+    options.ingest.period_end = in.i64();
+    options.ingest.reorder_horizon = in.i64();
+    if (options.ingest.period_end < 0 || options.ingest.reorder_horizon < 0) {
+        throw io_error(context, "bad session snapshot ingest options");
+    }
+    options.ingest.duplicates = (flags & kFlagDropDuplicates) != 0
+                                    ? DuplicatePolicy::drop
+                                    : DuplicatePolicy::keep;
+    options.ingest.late =
+        (flags & kFlagRejectLate) != 0 ? LatePolicy::reject : LatePolicy::drop;
+
+    IngestorCounters counters;
+    counters.accepted = in.u64();
+    counters.reordered = in.u64();
+    counters.duplicates_dropped = in.u64();
+    counters.late_dropped = in.u64();
+
+    const std::uint64_t event_count = in.u64();
+    if (counters.accepted < event_count) {
+        throw io_error(context, "session snapshot counters disagree with events");
+    }
+    in.require_items(event_count, kEventBytes);
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(event_count));
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+        Event event;
+        event.u = in.u32();
+        event.v = in.u32();
+        event.t = in.i64();
+        if (!events.empty() && event < events.back()) {
+            throw io_error(context, "session snapshot events out of canonical order");
+        }
+        events.push_back(event);
+    }
+
+    const std::uint64_t checkpoint_bytes = in.u64();
+    in.require_items(checkpoint_bytes, 1);
+    const std::byte* checkpoint = in.take(static_cast<std::size_t>(checkpoint_bytes));
+    if (in.position() != size - 8) {
+        throw io_error(context, "trailing bytes in session snapshot");
+    }
+
+    OnlineSweepEngine engine = restore_checkpoint(
+        std::span<const std::byte>(checkpoint, static_cast<std::size_t>(checkpoint_bytes)),
+        context);
+    if (engine.num_nodes() != nodes ||
+        engine.directed() != ((flags & kFlagDirected) != 0)) {
+        throw io_error(context, "session snapshot engine does not match the stream");
+    }
+    options.grid.assign(engine.grid().begin(), engine.grid().end());
+    options.config.metric = engine.options().metric;
+    options.config.histogram_bins = engine.options().histogram_bins;
+    options.config.shannon_slots = engine.options().shannon_slots;
+
+    // Replaying the canonical snapshot through a fresh ingestor reproduces
+    // finalized/buffer/watermark exactly (the snapshot is sorted, so no
+    // event is ever late on replay); the counters are then restored
+    // explicitly since drops are absent from the snapshot.
+    StreamIngestor ingestor(static_cast<NodeId>(nodes), (flags & kFlagDirected) != 0,
+                            options.ingest);
+    try {
+        ingestor.append(events);
+        if ((flags & kFlagClosed) != 0) ingestor.close();
+    } catch (const contract_error&) {
+        throw io_error(context, "session snapshot events violate the stream contract");
+    }
+    ingestor.counters_ = counters;
+
+    if (engine.synced_events() > ingestor.finalized().size()) {
+        throw io_error(context, "session snapshot engine is ahead of the sealed prefix");
+    }
+    return StreamSession(std::move(options), std::move(ingestor), std::move(engine));
+}
+
+}  // namespace natscale

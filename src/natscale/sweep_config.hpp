@@ -1,0 +1,110 @@
+// SweepConfig: the one configuration surface of the public API.
+//
+// Before this header existed, every entry point grew its own knob struct —
+// SaturationOptions for the scale search, ElongationOptions for the
+// validation curves, DeltaSweepOptions for the batched grid engine — with
+// the execution knobs (threads, scan threads, backend, aggregation mode)
+// duplicated across all of them and the CLI tools flattening each set into
+// flags independently.  SweepConfig consolidates the full knob set into one
+// struct that the facade (natscale/api.hpp), the CLI tools, `watch` mode,
+// and the natscaled daemon all share; SaturationOptions and
+// ElongationOptions survive as deprecated aliases of it, so every existing
+// caller compiles unchanged.
+//
+// The consolidation is safe because the knobs never conflicted: the
+// saturation fields are simply unused by the elongation curve and vice
+// versa, and the execution fields always meant the same thing everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/histogram01.hpp"
+#include "stats/uniformity.hpp"
+#include "temporal/reachability.hpp"
+#include "util/types.hpp"
+
+namespace natscale {
+
+/// How a grid engine materializes each per-window snapshot list (the former
+/// DeltaSweepOptions::Aggregation, hoisted to namespace scope).  All three
+/// produce bit-identical aggregated series:
+///
+///   pair_index — a precomputed (u, v, t) index over the source: O(E) per
+///                period with no per-window sort, at 4 B/event of index plus
+///                random access into the event storage.
+///   chunked    — the window-sequential out-of-core pipeline of
+///                linkstream/aggregation: per-window sort+dedup, consumed
+///                mmap pages released behind the scan.
+///   automatic  — pair_index for memory-resident sources, chunked for
+///                mmap-backed ones.
+enum class SweepAggregation { automatic, pair_index, chunked };
+
+/// Where the pair-order index lives (pair_index mode only; the former
+/// DeltaSweepOptions::IndexSpill, hoisted to namespace scope).
+///
+///   never     — an in-RAM std::vector (4 B/event).
+///   always    — spilled to a mmap'd unlinked temp file (best-effort; falls
+///               back to RAM when the temp file cannot be written).
+///   automatic — spill only when the event source itself is mmap-backed.
+enum class IndexSpillMode { automatic, never, always };
+
+/// Every knob of the occupancy-method pipeline, in one place.  Entry points
+/// read the subset that concerns them and ignore the rest, so one config
+/// can drive the whole pipeline (search + validation + reporting) without
+/// translation.  All execution knobs preserve bit-identical results; only
+/// wall-clock and memory change.
+struct SweepConfig {
+    // --- scale selection (find_saturation_scale) ---------------------------
+
+    /// Metric whose maximum defines gamma (paper default: M-K proximity).
+    UniformityMetric metric = UniformityMetric::mk_proximity;
+
+    /// Points of the initial geometric grid over [min_delta, max_delta].
+    std::size_t coarse_points = 48;
+
+    /// Linear refinement rounds around the running optimum, and points per
+    /// round.  0 rounds = coarse grid only — the mode whose output the
+    /// online engine (and hence the daemon) reproduces bit for bit.
+    std::size_t refine_rounds = 2;
+    std::size_t refine_points = 12;
+
+    /// Occupancy histogram resolution.
+    std::size_t histogram_bins = Histogram01::kDefaultBins;
+
+    /// Slot count for the Shannon-entropy metric (Section 7 uses 10).
+    std::size_t shannon_slots = 10;
+
+    /// Sweep range; 0 means "use the natural bound" (1 tick / T).
+    Time min_delta = 0;
+    Time max_delta = 0;
+
+    // --- execution (every entry point) -------------------------------------
+
+    /// Threads for the per-Delta fan-out; 0 = hardware concurrency, 1 =
+    /// fully sequential.  Results are bit-identical for every value.
+    std::size_t num_threads = 0;
+
+    /// Intra-scan column parallelism (temporal/column_shards) for grids too
+    /// narrow to saturate the pool with whole-period tasks.  1 = disabled
+    /// (default); tasks share the num_threads-wide pool (num_threads stays
+    /// the concurrency cap).  Results are bit-identical for every value.
+    std::size_t scan_threads = 1;
+
+    /// Reachability backend of the per-period scans; `automatic` picks dense
+    /// or sparse from n and event density.  Results are bit-identical for
+    /// every choice.
+    ReachabilityBackend backend = ReachabilityBackend::automatic;
+
+    /// Snapshot materialization and index placement of the grid engine (see
+    /// the enum docs above).  Results are bit-identical for every choice.
+    SweepAggregation aggregation = SweepAggregation::automatic;
+    IndexSpillMode index_spill = IndexSpillMode::automatic;
+
+    // --- validation (elongation_curve) --------------------------------------
+
+    /// Upper bound on stored stream trips; the pair-sampling divisor is
+    /// chosen automatically as ceil(total/limit).  0 disables sampling.
+    std::uint64_t max_stored_trips = 4'000'000;
+};
+
+}  // namespace natscale

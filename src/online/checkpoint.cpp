@@ -20,37 +20,8 @@ constexpr std::uint32_t kFlagDirected = 1u << 0;
 constexpr std::size_t kFixedHeaderBytes = 72;
 constexpr std::size_t kEntryBytes = 16;  // v u32, hops u32, arr i64
 
-std::uint64_t fnv1a64(const std::byte* data, std::size_t size) {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= std::to_integer<std::uint8_t>(data[i]);
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
-
-class Writer {
-public:
-    void u32(std::uint32_t value) {
-        std::byte piece[4];
-        wire::put_u32(piece, value);
-        bytes_.insert(bytes_.end(), piece, piece + 4);
-    }
-    void u64(std::uint64_t value) {
-        std::byte piece[8];
-        wire::put_u64(piece, value);
-        bytes_.insert(bytes_.end(), piece, piece + 8);
-    }
-    void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
-    void raw(const void* data, std::size_t size) {
-        const auto* p = static_cast<const std::byte*>(data);
-        bytes_.insert(bytes_.end(), p, p + size);
-    }
-    std::vector<std::byte>& bytes() { return bytes_; }
-
-private:
-    std::vector<std::byte> bytes_;
-};
+using wire::fnv1a64;
+using Writer = wire::Writer;
 
 /// Bounds-checked forward reader over the checkpoint payload.
 class Reader {
@@ -102,7 +73,7 @@ ExactSum get_exact_sum(Reader& in) {
 
 }  // namespace
 
-void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
+std::vector<std::byte> serialize_checkpoint(const OnlineSweepEngine& engine) {
     Writer out;
     out.raw(kCheckpointMagic, sizeof(kCheckpointMagic));
     out.u32(kCheckpointVersion);
@@ -133,24 +104,24 @@ void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
         }
     }
     out.u64(fnv1a64(out.bytes().data(), out.bytes().size()));
+    return std::move(out.bytes());
+}
 
+void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
+    const std::vector<std::byte> bytes = serialize_checkpoint(engine);
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os) throw std::runtime_error("cannot open '" + path + "' for writing");
-    os.write(reinterpret_cast<const char*>(out.bytes().data()),
-             static_cast<std::streamsize>(out.bytes().size()));
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
     os.flush();
     if (!os) throw std::runtime_error("cannot write checkpoint to '" + path + "'");
 }
 
-OnlineSweepEngine load_checkpoint(const std::string& path) {
-    std::ifstream is(path, std::ios::binary | std::ios::ate);
-    if (!is) throw std::runtime_error("cannot open '" + path + "'");
-    const auto size = static_cast<std::size_t>(is.tellg());
+OnlineSweepEngine restore_checkpoint(std::span<const std::byte> bytes,
+                                     const std::string& context) {
+    const std::string& path = context;  // io_error labels errors by source
+    const std::size_t size = bytes.size();
     if (size < kFixedHeaderBytes + 8) throw io_error(path, "truncated checkpoint header");
-    std::vector<std::byte> bytes(size);
-    is.seekg(0);
-    is.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
-    if (!is) throw std::runtime_error("cannot read '" + path + "'");
 
     const std::uint64_t declared = wire::get_u64(bytes.data() + size - 8);
     if (declared != fnv1a64(bytes.data(), size - 8)) {
@@ -251,6 +222,17 @@ OnlineSweepEngine load_checkpoint(const std::string& path) {
         throw io_error(path, "trailing bytes in checkpoint");
     }
     return engine;
+}
+
+OnlineSweepEngine load_checkpoint(const std::string& path) {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) throw std::runtime_error("cannot open '" + path + "'");
+    const auto size = static_cast<std::size_t>(is.tellg());
+    std::vector<std::byte> bytes(size);
+    is.seekg(0);
+    is.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+    if (!is) throw std::runtime_error("cannot read '" + path + "'");
+    return restore_checkpoint(bytes, path);
 }
 
 }  // namespace natscale

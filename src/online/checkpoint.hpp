@@ -33,11 +33,26 @@
 // reads out of bounds, and never restores a half-consistent engine.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "online/incremental_sweep.hpp"
 
 namespace natscale {
+
+/// Serializes the engine's frozen state to an in-memory buffer in the exact
+/// on-disk format above (magic through checksum).  This is the primitive
+/// the daemon's session snapshots embed (natscale/session); save_checkpoint
+/// is this plus a file write.
+std::vector<std::byte> serialize_checkpoint(const OnlineSweepEngine& engine);
+
+/// Restores an engine from a serialized checkpoint buffer.  `context` names
+/// the source in error messages (a path, a stream name, ...).  Throws
+/// io_error on malformed content — same validation as load_checkpoint.
+OnlineSweepEngine restore_checkpoint(std::span<const std::byte> bytes,
+                                     const std::string& context);
 
 /// Serializes the engine's frozen state to `path` (overwriting).  Throws
 /// std::runtime_error when the file cannot be written.

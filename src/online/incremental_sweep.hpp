@@ -46,6 +46,7 @@
 // threads x n^2.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -153,6 +154,9 @@ public:
 private:
     friend void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine);
     friend OnlineSweepEngine load_checkpoint(const std::string& path);
+    friend std::vector<std::byte> serialize_checkpoint(const OnlineSweepEngine& engine);
+    friend OnlineSweepEngine restore_checkpoint(std::span<const std::byte> bytes,
+                                                const std::string& context);
 
     /// Frozen state of one grid period: the forward sweep state and
     /// occupancy histogram of every sealed window, plus the count of events

@@ -110,6 +110,12 @@ public:
     Time period_end() const noexcept { return options_.period_end; }
 
 private:
+    /// StreamSession snapshots (natscale/session) rebuild an ingestor by
+    /// replaying snapshot_events() — which reproduces finalized/buffer/
+    /// watermark exactly — and then need to restore the counters, which
+    /// replay cannot reproduce (drops are absent from the snapshot).
+    friend class StreamSession;
+
     void validate(const Event& event) const;
     void drain();
 

@@ -1,0 +1,195 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace natscale::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("unix socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        throw_errno("connect(" + path + ")");
+    }
+    Client client(fd);
+    client.handshake();
+    return client;
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+    const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad TCP host (numeric IPv4 expected): " + host);
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+    }
+    Client client(fd);
+    client.handshake();
+    return client;
+}
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        reader_ = std::move(other.reader_);
+    }
+    return *this;
+}
+
+Client::~Client() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::handshake() {
+    send_frame(MessageType::hello, encode_hello(Hello{}));
+    const Frame ack = expect(MessageType::hello_ack);
+    const Hello hello = parse_hello(ack.payload);
+    if (hello.version != kProtocolVersion) {
+        throw std::runtime_error("server speaks protocol version " +
+                                 std::to_string(hello.version));
+    }
+}
+
+void Client::send_frame(MessageType type, std::span<const std::byte> payload) {
+    std::vector<std::byte> bytes;
+    bytes.reserve(kFrameHeaderBytes + payload.size());
+    append_frame(bytes, type, payload);
+    send_raw(bytes);
+}
+
+void Client::send_raw(std::span<const std::byte> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+Frame Client::read_frame() {
+    Frame frame;
+    while (!reader_.next(frame)) {
+        std::byte chunk[16 * 1024];
+        const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            reader_.feed(std::span<const std::byte>(chunk, static_cast<std::size_t>(n)));
+            continue;
+        }
+        if (n == 0) throw std::runtime_error("server closed the connection");
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+    }
+    return frame;
+}
+
+Frame Client::expect(MessageType type) {
+    const Frame frame = read_frame();
+    if (frame.type == MessageType::error) {
+        const ErrorMessage error = parse_error(frame.payload);
+        throw remote_error(error.code, error.message);
+    }
+    if (frame.type != type) {
+        throw std::runtime_error(
+            "unexpected reply type " +
+            std::to_string(static_cast<std::uint32_t>(frame.type)));
+    }
+    return frame;
+}
+
+StreamAck Client::register_stream(const RegisterStream& request) {
+    send_frame(MessageType::register_stream, encode_register_stream(request));
+    return parse_stream_ack(expect(MessageType::stream_ack).payload);
+}
+
+StreamAck Client::attach(const std::string& name, std::uint64_t resume_token) {
+    AttachStream request;
+    request.name = name;
+    request.resume_token = resume_token;
+    send_frame(MessageType::attach_stream, encode_attach_stream(request));
+    return parse_stream_ack(expect(MessageType::stream_ack).payload);
+}
+
+IngestAck Client::ingest(std::uint64_t stream_id, std::uint64_t first_seq,
+                         std::span<const Event> events) {
+    Ingest request;
+    request.stream_id = stream_id;
+    request.first_seq = first_seq;
+    request.events.assign(events.begin(), events.end());
+    send_frame(MessageType::ingest, encode_ingest(request));
+    return parse_ingest_ack(expect(MessageType::ingest_ack).payload);
+}
+
+StreamAck Client::close_stream(std::uint64_t stream_id) {
+    CloseStream request;
+    request.stream_id = stream_id;
+    send_frame(MessageType::close_stream, encode_close_stream(request));
+    return parse_stream_ack(expect(MessageType::stream_ack).payload);
+}
+
+QueryResult Client::query(const Query& request) {
+    send_frame(MessageType::query, encode_query(request));
+    return parse_query_result(expect(MessageType::query_result).payload);
+}
+
+std::vector<std::string> Client::list_streams() {
+    send_frame(MessageType::list_streams, {});
+    return parse_stream_list(expect(MessageType::stream_list).payload).names;
+}
+
+void Client::checkpoint() {
+    send_frame(MessageType::checkpoint, {});
+    expect(MessageType::checkpoint_ack);
+}
+
+void Client::ping() {
+    send_frame(MessageType::ping, {});
+    expect(MessageType::pong);
+}
+
+void Client::shutdown_server() {
+    send_frame(MessageType::shutdown, {});
+    expect(MessageType::checkpoint_ack);
+}
+
+}  // namespace natscale::service

@@ -1,0 +1,95 @@
+// Blocking client for the natscaled wire protocol (service/protocol.hpp).
+//
+// A thin, synchronous wrapper used by the natscale_client CLI, the
+// fault-injection tests and the CI daemon-smoke job: every method sends
+// one request frame and blocks for its reply.  Error frames surface as
+// remote_error carrying the server's ErrorCode, so callers (and tests)
+// can distinguish a stale resume token from a sequence gap from a
+// malformed request.
+//
+// The raw frame primitives (send_frame / send_raw / read_frame) are
+// public on purpose: the fault-injection tests use them to write partial
+// frames, replay duplicates and forge malformed input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linkstream/event.hpp"
+#include "service/protocol.hpp"
+
+namespace natscale::service {
+
+/// An error frame received from the daemon.
+class remote_error : public std::runtime_error {
+public:
+    remote_error(ErrorCode code, const std::string& what)
+        : std::runtime_error(what), code_(code) {}
+    ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+class Client {
+public:
+    /// Connects and completes the hello handshake.  Throws
+    /// std::runtime_error on connection failure, remote_error when the
+    /// server rejects the handshake.
+    static Client connect_unix(const std::string& path);
+    static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    ~Client();
+
+    // --- typed requests -----------------------------------------------------
+
+    StreamAck register_stream(const RegisterStream& request);
+
+    /// token 0 = read-only attach.
+    StreamAck attach(const std::string& name, std::uint64_t resume_token);
+
+    /// Sends one sequenced batch and waits for the ack.
+    IngestAck ingest(std::uint64_t stream_id, std::uint64_t first_seq,
+                     std::span<const Event> events);
+
+    StreamAck close_stream(std::uint64_t stream_id);
+    QueryResult query(const Query& request);
+    std::vector<std::string> list_streams();
+    void checkpoint();
+    void ping();
+
+    /// Asks the daemon to persist and exit; returns once acknowledged.
+    void shutdown_server();
+
+    // --- raw access (fault-injection tests) ---------------------------------
+
+    void send_frame(MessageType type, std::span<const std::byte> payload);
+
+    /// Writes arbitrary bytes to the socket, bypassing framing — for
+    /// partial-frame and fuzz tests.
+    void send_raw(std::span<const std::byte> bytes);
+
+    /// Blocks for the next frame.  Throws std::runtime_error on EOF.
+    Frame read_frame();
+
+    int fd() const noexcept { return fd_; }
+
+private:
+    explicit Client(int fd);
+    void handshake();
+
+    /// Blocks for the next frame and converts error frames to remote_error.
+    Frame expect(MessageType type);
+
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+}  // namespace natscale::service

@@ -1,0 +1,108 @@
+// natscaled: the multi-stream time-scale service (tentpole of the service
+// layer; protocol in service/protocol.hpp, spec in docs/protocol.md).
+//
+// One process hosts many named streams, each a natscale::StreamSession
+// (ingestor + online sweep engine).  Clients connect over a Unix socket or
+// TCP, register or re-attach to streams, push sequenced event batches, and
+// query the current saturation scale, Gamma(Delta) curve, occupancy
+// histograms, or ingest status — answers are the schema-1 JSON reports of
+// natscale/report_schema, bit-identical over the sealed prefix to a cold
+// batch sweep of the same events.
+//
+// --- Threading model --------------------------------------------------------
+//
+// One IO thread runs the epoll loop: accept, read, frame decode, and all
+// socket writes.  It never executes analysis.  Every frame that touches a
+// stream (ingest, close, query, checkpoint) becomes a task on the stream's
+// STRAND — a FIFO queue drained by a shared worker pool with at most one
+// worker per stream at a time.  So:
+//   * frames of one stream apply in arrival order (exactness),
+//   * a slow query on stream A never delays ingestion into stream B, and
+//     never stalls the IO thread (ingestion keeps flowing: frames are
+//     parsed, enqueued and acknowledged asynchronously),
+//   * no per-stream state needs a lock beyond the strand queues' own.
+// Workers append replies to the connection's outbox and wake the IO thread
+// through an eventfd; the IO thread flushes (EPOLLOUT when the socket is
+// full).
+//
+// --- Fault containment ------------------------------------------------------
+//
+// Malformed frames (oversized, truncated, unknown enumerators) answer with
+// an error frame and close that connection; semantically invalid requests
+// (unknown stream, stale resume token, sequence gap, contract-violating
+// events) answer with an error frame and keep the connection — none of
+// them can crash or wedge the daemon (tests/test_service_protocol.cpp
+// fuzzes this).
+//
+// --- Persistence ------------------------------------------------------------
+//
+// With a state directory configured, `checkpoint` frames (and graceful
+// shutdown) persist every stream — resume bookkeeping plus the complete
+// StreamSession snapshot — to <state_dir>/<name>.natstream, written
+// atomically (tmp + rename).  At startup the directory is reloaded, so a
+// restarted daemon answers bit-identically to one that never stopped, and
+// ingestors resume from the checkpointed acked_seq.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace natscale::service {
+
+struct ServerOptions {
+    /// Unix-socket listener path; empty = no Unix listener.  An existing
+    /// socket file at the path is replaced.
+    std::string unix_path;
+
+    /// TCP listener; empty host = no TCP listener, port 0 = ephemeral
+    /// (query the bound port with Server::tcp_port()).
+    std::string tcp_host;
+    std::uint16_t tcp_port = 0;
+
+    /// Stream persistence directory; empty = no persistence (checkpoint
+    /// frames answer bad_request).
+    std::string state_dir;
+
+    /// Worker threads draining the stream strands (>= 1).
+    std::size_t workers = 2;
+
+    /// Per-engine sync/refresh fan-out (OnlineSweepOptions::num_threads);
+    /// 1 = sequential, the safe default under a worker pool.  Results are
+    /// bit-identical for every value.
+    std::size_t engine_threads = 1;
+};
+
+/// The daemon.  Construction binds the listeners and reloads the state
+/// directory; run() blocks on the epoll loop until stop(), a shutdown
+/// frame, or a fatal listener error.  stop() is thread-safe.
+class Server {
+public:
+    /// Throws std::runtime_error when a listener cannot be bound or the
+    /// state directory cannot be read.  Preconditions: at least one
+    /// listener configured; workers >= 1.
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Port actually bound by the TCP listener (== options.tcp_port unless
+    /// it was 0); 0 when no TCP listener is configured.
+    std::uint16_t tcp_port() const noexcept;
+
+    /// Runs the IO loop on the calling thread until stopped.  On graceful
+    /// exit (stop() or shutdown frame), checkpoints every stream to the
+    /// state directory (when configured) before returning.
+    void run();
+
+    /// Requests run() to return; safe from any thread and from before
+    /// run() starts.
+    void stop();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace natscale::service

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace natscale::wire {
 
@@ -35,5 +36,43 @@ inline std::uint64_t get_u64(const std::byte* in) {
     }
     return value;
 }
+
+/// FNV-1a 64 over a byte range: the integrity checksum every checksummed
+/// format of this library (checkpoints, session snapshots) appends.  Not
+/// cryptographic — it catches truncation and corruption, not tampering.
+inline std::uint64_t fnv1a64(const std::byte* data, std::size_t size) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= std::to_integer<std::uint8_t>(data[i]);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/// Append-only little-endian buffer builder: the writing half every binary
+/// format shares.  (Readers stay per-format: their bounds-check failures
+/// must throw each format's own error type.)
+class Writer {
+public:
+    void u32(std::uint32_t value) {
+        std::byte piece[4];
+        put_u32(piece, value);
+        bytes_.insert(bytes_.end(), piece, piece + 4);
+    }
+    void u64(std::uint64_t value) {
+        std::byte piece[8];
+        put_u64(piece, value);
+        bytes_.insert(bytes_.end(), piece, piece + 8);
+    }
+    void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+    void raw(const void* data, std::size_t size) {
+        const auto* p = static_cast<const std::byte*>(data);
+        bytes_.insert(bytes_.end(), p, p + size);
+    }
+    std::vector<std::byte>& bytes() { return bytes_; }
+
+private:
+    std::vector<std::byte> bytes_;
+};
 
 }  // namespace natscale::wire

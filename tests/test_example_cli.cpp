@@ -1,0 +1,73 @@
+// The shared example-CLI parsers (examples/example_cli.hpp) must reject
+// junk with exit code 2 and an error that names BOTH the offending value
+// and the flag it was passed to — the regression locked in here is the
+// flag name appearing in the message (it used to say only the value).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "examples/example_cli.hpp"
+
+namespace natscale::examples {
+namespace {
+
+TEST(ExampleCliParsers, ParseCountAcceptsPlainIntegers) {
+    EXPECT_EQ(parse_count("--points=48", "--points="), 48u);
+    EXPECT_EQ(parse_count("--threads=0", "--threads="), 0u);
+}
+
+TEST(ExampleCliParsers, OptionValueStripsTheFlag) {
+    EXPECT_EQ(option_value("--token-file=/tmp/x", "--token-file="), "/tmp/x");
+    EXPECT_EQ(option_value("--close", "--close"), "");
+}
+
+TEST(ExampleCliParsers, ParseBackendAndMetricAndFormat) {
+    EXPECT_EQ(parse_backend("--backend=dense", "--backend="), ReachabilityBackend::dense);
+    EXPECT_EQ(parse_metric("--metric=cre", "--metric="), UniformityMetric::cre);
+    EXPECT_EQ(parse_format("--format=auto", "--format=", true), FormatChoice::automatic);
+    EXPECT_EQ(parse_format("--to=natbin", "--to=", false), FormatChoice::natbin);
+}
+
+using ExampleCliDeath = ::testing::Test;
+
+TEST(ExampleCliDeath, JunkCountNamesTheFlag) {
+    EXPECT_EXIT(parse_count("--points=abc", "--points="),
+                ::testing::ExitedWithCode(2), "invalid value 'abc' for option '--points'");
+}
+
+TEST(ExampleCliDeath, NegativeCountNamesTheFlag) {
+    EXPECT_EXIT(parse_count("--threads=-4", "--threads="),
+                ::testing::ExitedWithCode(2), "'-4' for option '--threads'");
+}
+
+TEST(ExampleCliDeath, TrailingGarbageNamesTheFlag) {
+    EXPECT_EXIT(parse_count("--refine-rounds=3x", "--refine-rounds="),
+                ::testing::ExitedWithCode(2), "'3x' for option '--refine-rounds'");
+}
+
+TEST(ExampleCliDeath, EmptyValueNamesTheFlag) {
+    EXPECT_EXIT(parse_count("--scan-threads=", "--scan-threads="),
+                ::testing::ExitedWithCode(2), "for option '--scan-threads'");
+}
+
+TEST(ExampleCliDeath, BadBackendNamesTheFlagAndChoices) {
+    EXPECT_EXIT(parse_backend("--backend=gpu", "--backend="),
+                ::testing::ExitedWithCode(2),
+                "'gpu' for option '--backend' \\(expected auto\\|dense\\|sparse\\)");
+}
+
+TEST(ExampleCliDeath, BadMetricNamesTheFlagAndChoices) {
+    EXPECT_EXIT(parse_metric("--metric=gini", "--metric="),
+                ::testing::ExitedWithCode(2),
+                "'gini' for option '--metric' \\(expected mk\\|stddev\\|shannon\\|cre\\)");
+}
+
+TEST(ExampleCliDeath, AutomaticFormatOnlyWhereAllowed) {
+    EXPECT_EQ(parse_format("--format=auto", "--format=", true), FormatChoice::automatic);
+    EXPECT_EXIT(parse_format("--to=auto", "--to=", false),
+                ::testing::ExitedWithCode(2),
+                "'auto' for option '--to' \\(expected text\\|natbin\\)");
+}
+
+}  // namespace
+}  // namespace natscale::examples

@@ -1,0 +1,228 @@
+// The NATSVC01 codec (service/protocol.hpp) hardened: every encoder/parser
+// pair round-trips, the incremental FrameReader reassembles frames from
+// arbitrary chunkings, and NO malformed input — truncated payloads,
+// oversized length prefixes, out-of-range enumerators, trailing garbage,
+// random fuzz — escapes as anything but protocol_error.  The daemon's
+// never-crash guarantee rests on this layer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace natscale::service {
+namespace {
+
+std::vector<std::byte> frame_of(MessageType type, std::span<const std::byte> payload) {
+    std::vector<std::byte> bytes;
+    append_frame(bytes, type, payload);
+    return bytes;
+}
+
+TEST(ServiceProtocol, RegisterStreamRoundTrips) {
+    RegisterStream msg;
+    msg.name = "sensors-42";
+    msg.num_nodes = 1234;
+    msg.directed = true;
+    msg.period_end = 999999;
+    msg.grid_points = 64;
+    msg.metric = 3;
+    msg.histogram_bins = 500;
+    msg.shannon_slots = 12;
+    msg.reorder_horizon = 77;
+    msg.drop_duplicates = true;
+    msg.reject_late = true;
+
+    const RegisterStream back = parse_register_stream(encode_register_stream(msg));
+    EXPECT_EQ(back.name, msg.name);
+    EXPECT_EQ(back.num_nodes, msg.num_nodes);
+    EXPECT_EQ(back.directed, msg.directed);
+    EXPECT_EQ(back.period_end, msg.period_end);
+    EXPECT_EQ(back.grid_points, msg.grid_points);
+    EXPECT_EQ(back.metric, msg.metric);
+    EXPECT_EQ(back.histogram_bins, msg.histogram_bins);
+    EXPECT_EQ(back.shannon_slots, msg.shannon_slots);
+    EXPECT_EQ(back.reorder_horizon, msg.reorder_horizon);
+    EXPECT_EQ(back.drop_duplicates, msg.drop_duplicates);
+    EXPECT_EQ(back.reject_late, msg.reject_late);
+}
+
+TEST(ServiceProtocol, IngestRoundTripsEvents) {
+    Ingest msg;
+    msg.stream_id = 7;
+    msg.first_seq = 1001;
+    msg.events = {{0, 1, 5}, {3, 9, 5}, {2, 4, 17}};
+    const Ingest back = parse_ingest(encode_ingest(msg));
+    EXPECT_EQ(back.stream_id, msg.stream_id);
+    EXPECT_EQ(back.first_seq, msg.first_seq);
+    ASSERT_EQ(back.events.size(), msg.events.size());
+    for (std::size_t i = 0; i < msg.events.size(); ++i) {
+        EXPECT_EQ(back.events[i].u, msg.events[i].u);
+        EXPECT_EQ(back.events[i].v, msg.events[i].v);
+        EXPECT_EQ(back.events[i].t, msg.events[i].t);
+    }
+}
+
+TEST(ServiceProtocol, SmallMessagesRoundTrip) {
+    EXPECT_EQ(parse_hello(encode_hello(Hello{kProtocolVersion})).version,
+              kProtocolVersion);
+
+    ErrorMessage error{ErrorCode::stale_token, "nope"};
+    const ErrorMessage error_back = parse_error(encode_error(error));
+    EXPECT_EQ(error_back.code, ErrorCode::stale_token);
+    EXPECT_EQ(error_back.message, "nope");
+
+    StreamAck ack;
+    ack.name = "s";
+    ack.stream_id = 3;
+    ack.resume_token = 0xdeadbeefcafeULL;
+    ack.acked_seq = 42;
+    ack.sealed_events = 40;
+    ack.watermark = kInfiniteTime;
+    const StreamAck ack_back = parse_stream_ack(encode_stream_ack(ack));
+    EXPECT_EQ(ack_back.resume_token, ack.resume_token);
+    EXPECT_EQ(ack_back.acked_seq, ack.acked_seq);
+    EXPECT_EQ(ack_back.watermark, kInfiniteTime);
+
+    Query query;
+    query.stream_id = 9;
+    query.kind = QueryKind::histogram;
+    query.sealed_only = true;
+    query.delta = 1234;
+    const Query query_back = parse_query(encode_query(query));
+    EXPECT_EQ(query_back.kind, QueryKind::histogram);
+    EXPECT_TRUE(query_back.sealed_only);
+    EXPECT_EQ(query_back.delta, 1234);
+
+    // Query results carry JSON beyond the generic string cap.
+    QueryResult result;
+    result.stream_id = 9;
+    result.kind = QueryKind::curve;
+    result.json = std::string(2 * kMaxStringBytes, 'x');
+    EXPECT_EQ(parse_query_result(encode_query_result(result)).json, result.json);
+
+    StreamList list;
+    list.names = {"a", "b", "c-long-name"};
+    EXPECT_EQ(parse_stream_list(encode_stream_list(list)).names, list.names);
+}
+
+TEST(ServiceProtocol, FrameReaderReassemblesByteAtATime) {
+    Ingest msg;
+    msg.stream_id = 1;
+    msg.first_seq = 1;
+    msg.events = {{0, 1, 2}, {1, 2, 3}};
+    const std::vector<std::byte> a = frame_of(MessageType::ingest, encode_ingest(msg));
+    const std::vector<std::byte> b = frame_of(MessageType::ping, {});
+
+    std::vector<std::byte> wire(a);
+    wire.insert(wire.end(), b.begin(), b.end());
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    Frame frame;
+    for (const std::byte byte : wire) {
+        reader.feed(std::span<const std::byte>(&byte, 1));
+        while (reader.next(frame)) frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].type, MessageType::ingest);
+    EXPECT_EQ(frames[1].type, MessageType::ping);
+    EXPECT_EQ(parse_ingest(frames[0].payload).events.size(), 2u);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServiceProtocol, OversizedLengthPrefixThrowsBeforeBuffering) {
+    std::byte header[kFrameHeaderBytes] = {};
+    const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFramePayload) + 1;
+    std::memcpy(header, &huge, sizeof(huge));  // LE length, type zero
+    FrameReader reader;
+    reader.feed(std::span<const std::byte>(header, sizeof(header)));
+    Frame frame;
+    EXPECT_THROW(reader.next(frame), protocol_error);
+}
+
+TEST(ServiceProtocol, TruncatedPayloadsThrowNotCrash) {
+    Ingest msg;
+    msg.stream_id = 5;
+    msg.first_seq = 10;
+    msg.events = {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}};
+    const std::vector<std::byte> good = encode_ingest(msg);
+    // Every strict prefix of a valid payload must be rejected cleanly.
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        EXPECT_THROW(parse_ingest(std::span<const std::byte>(good.data(), len)),
+                     protocol_error)
+            << "prefix length " << len;
+    }
+    // Trailing garbage is rejected too (payloads are exact).
+    std::vector<std::byte> padded = good;
+    padded.push_back(std::byte{0});
+    EXPECT_THROW(parse_ingest(padded), protocol_error);
+}
+
+TEST(ServiceProtocol, HostileCountsDoNotAllocate) {
+    // An ingest payload claiming 2^32-1 events but carrying none: the
+    // parser must reject on available bytes BEFORE sizing any container.
+    std::vector<std::byte> payload(8 + 8 + 4);
+    const std::uint32_t count = 0xffffffffu;
+    std::memcpy(payload.data() + 16, &count, sizeof(count));
+    EXPECT_THROW(parse_ingest(payload), protocol_error);
+
+    // Same for a string length pointing past the end.
+    std::vector<std::byte> name_payload(4);
+    const std::uint32_t len = 0x7fffffffu;
+    std::memcpy(name_payload.data(), &len, sizeof(len));
+    EXPECT_THROW(parse_attach_stream(name_payload), protocol_error);
+}
+
+TEST(ServiceProtocol, FuzzedPayloadsNeverEscapeProtocolError) {
+    Rng rng(2024);
+    for (int round = 0; round < 2000; ++round) {
+        std::vector<std::byte> junk(rng.uniform_index(96));
+        for (std::byte& b : junk) {
+            b = static_cast<std::byte>(rng.uniform_index(256));
+        }
+        const auto tolerate = [&](auto parse) {
+            try {
+                parse(std::span<const std::byte>(junk));
+            } catch (const protocol_error&) {
+                // expected for malformed input
+            }
+        };
+        tolerate([](auto s) { return parse_hello(s); });
+        tolerate([](auto s) { return parse_error(s); });
+        tolerate([](auto s) { return parse_register_stream(s); });
+        tolerate([](auto s) { return parse_attach_stream(s); });
+        tolerate([](auto s) { return parse_stream_ack(s); });
+        tolerate([](auto s) { return parse_ingest(s); });
+        tolerate([](auto s) { return parse_ingest_ack(s); });
+        tolerate([](auto s) { return parse_close_stream(s); });
+        tolerate([](auto s) { return parse_query(s); });
+        tolerate([](auto s) { return parse_query_result(s); });
+        tolerate([](auto s) { return parse_stream_list(s); });
+    }
+}
+
+TEST(ServiceProtocol, FuzzedFrameStreamsNeverEscapeProtocolError) {
+    Rng rng(4077);
+    for (int round = 0; round < 300; ++round) {
+        FrameReader reader;
+        std::vector<std::byte> junk(16 + rng.uniform_index(256));
+        for (std::byte& b : junk) {
+            b = static_cast<std::byte>(rng.uniform_index(256));
+        }
+        try {
+            reader.feed(junk);
+            Frame frame;
+            while (reader.next(frame)) {
+            }
+        } catch (const protocol_error&) {
+            // an oversized length prefix — the one legal way out
+        }
+    }
+}
+
+}  // namespace
+}  // namespace natscale::service

@@ -1,0 +1,198 @@
+// StreamSession (natscale/api.hpp): the facade the CLI tools and the
+// natscaled daemon share.  Locked in here:
+//   * sealed-only reports are bit-identical to a cold DeltaSweepEngine
+//     batch run over the sealed prefix,
+//   * serialize() -> restore() is lossless — the restored session answers
+//     every query bit-identically and keeps ingesting with the same
+//     counters, watermark and reorder buffer,
+//   * corrupted snapshots are rejected (checksum, magic, truncation)
+//     instead of producing a quietly wrong session.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/delta_sweep.hpp"
+#include "linkstream/io.hpp"
+#include "natscale/api.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace natscale {
+namespace {
+
+/// Bursty event soup with NONDECREASING timestamps, so every event is
+/// accepted (nothing late, nothing beyond the period) and the full list
+/// seals on close — the precondition for exact parity with a batch sweep
+/// over the same list.
+std::vector<Event> random_events(std::uint64_t seed, NodeId n, Time period,
+                                 std::size_t count, bool directed) {
+    Rng rng(seed);
+    std::vector<Event> events;
+    events.reserve(count);
+    Time t = 0;
+    while (events.size() < count) {
+        t += rng.bernoulli(0.4) ? 0 : rng.uniform_int(1, period / 40 + 1);
+        if (t >= period) t = period - 1;
+        auto u = static_cast<NodeId>(rng.uniform_index(n));
+        auto v = static_cast<NodeId>(rng.uniform_index(n));
+        if (u == v) v = (v + 1) % n;
+        if (!directed && u > v) std::swap(u, v);
+        events.push_back({u, v, t});
+    }
+    return events;
+}
+
+/// Local bounded shuffle (test_online_sweep's idiom): swaps nearby events
+/// whose timestamps differ by at most `horizon`, exercising the reorder
+/// buffer without ever making an event late.
+void shuffle_within_horizon(std::vector<Event>& events, Time horizon,
+                            std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+        const std::size_t j = i + rng.uniform_index(2);
+        if (j < events.size() && events[j].t - events[i].t <= horizon &&
+            events[i].t - events[j].t <= horizon) {
+            std::swap(events[i], events[j]);
+        }
+    }
+}
+
+SessionOptions small_options(Time period, std::size_t points, Time horizon) {
+    SessionOptions options;
+    options.config.coarse_points = points;
+    options.config.num_threads = 1;
+    options.ingest.period_end = period;
+    options.ingest.reorder_horizon = horizon;
+    return options;
+}
+
+void expect_identical_points(const DeltaPoint& a, const DeltaPoint& b) {
+    EXPECT_EQ(a.delta, b.delta);
+    EXPECT_EQ(a.num_trips, b.num_trips);
+    EXPECT_EQ(a.occupancy_mean, b.occupancy_mean);
+    EXPECT_EQ(a.scores.mk_proximity, b.scores.mk_proximity);
+    EXPECT_EQ(a.scores.std_deviation, b.scores.std_deviation);
+    EXPECT_EQ(a.scores.variation_coefficient, b.scores.variation_coefficient);
+    EXPECT_EQ(a.scores.shannon_entropy, b.scores.shannon_entropy);
+    EXPECT_EQ(a.scores.cre, b.scores.cre);
+}
+
+TEST(StreamSession, SealedReportMatchesColdBatchBitwise) {
+    const NodeId n = 24;
+    const Time period = 600;
+    const auto events = random_events(11, n, period, 900, false);
+
+    StreamSession session(n, false, small_options(period, 12, 0));
+    session.append(events);
+    session.close();
+
+    const OnlineReport report = session.report(/*sealed_only=*/true);
+    EXPECT_EQ(report.events_covered, events.size());
+
+    // Cold side: a batch DeltaSweepEngine over the identical event list and
+    // grid (the session derives geometric_delta_grid(1, period, points)).
+    std::vector<Event> sorted(events);
+    LinkStream stream(sorted, n, period, false, /*dedup=*/false);
+    DeltaSweepEngine cold(stream, {});
+    const std::vector<Time> grid(session.grid().begin(), session.grid().end());
+    const std::vector<DeltaPoint> cold_points = cold.evaluate(grid);
+
+    ASSERT_EQ(report.points.size(), cold_points.size());
+    for (std::size_t i = 0; i < cold_points.size(); ++i) {
+        expect_identical_points(report.points[i], cold_points[i]);
+    }
+}
+
+TEST(StreamSession, SerializeRestoreRoundTripsMidStream) {
+    const NodeId n = 20;
+    const Time period = 500;
+    const Time horizon = 16;
+    auto events = random_events(23, n, period, 800, false);
+    shuffle_within_horizon(events, horizon, 99);
+    const std::size_t cut = 473;  // deliberately mid-reorder-buffer
+
+    StreamSession session(n, false, small_options(period, 10, horizon));
+    session.append(std::span<const Event>(events).subspan(0, cut));
+
+    const std::vector<std::byte> snapshot = session.serialize();
+    StreamSession restored = StreamSession::restore(snapshot, "test");
+
+    EXPECT_EQ(restored.num_nodes(), session.num_nodes());
+    EXPECT_EQ(restored.directed(), session.directed());
+    EXPECT_EQ(restored.watermark(), session.watermark());
+    EXPECT_EQ(restored.sealed_events(), session.sealed_events());
+    EXPECT_EQ(restored.counters().accepted, session.counters().accepted);
+    EXPECT_EQ(restored.counters().reordered, session.counters().reordered);
+    ASSERT_EQ(std::vector<Time>(restored.grid().begin(), restored.grid().end()),
+              std::vector<Time>(session.grid().begin(), session.grid().end()));
+
+    // Both sessions continue with the SAME tail and must stay bit-identical
+    // in every query, provisional and sealed.
+    session.append(std::span<const Event>(events).subspan(cut));
+    restored.append(std::span<const Event>(events).subspan(cut));
+    session.close();
+    restored.close();
+
+    for (const bool sealed_only : {false, true}) {
+        const OnlineReport a = session.report(sealed_only);
+        const OnlineReport b = restored.report(sealed_only);
+        EXPECT_EQ(a.events_covered, b.events_covered);
+        EXPECT_EQ(a.gamma, b.gamma);
+        EXPECT_EQ(a.best_index, b.best_index);
+        ASSERT_EQ(a.points.size(), b.points.size());
+        for (std::size_t i = 0; i < a.points.size(); ++i) {
+            expect_identical_points(a.points[i], b.points[i]);
+        }
+    }
+
+    // And the serialized forms of the two finished sessions agree too.
+    EXPECT_EQ(session.serialize(), restored.serialize());
+}
+
+TEST(StreamSession, ReportJsonIsDeterministic) {
+    const NodeId n = 12;
+    const Time period = 200;
+    const auto events = random_events(5, n, period, 300, false);
+
+    StreamSession session(n, false, small_options(period, 8, 0));
+    session.append(events);
+    session.close();
+
+    ReportContext context;
+    context.stream = "s";
+    context.events = events.size();
+    context.watermark = session.watermark();
+    context.finished = true;
+    const std::string a = curve_json(session.report(), session.metric(), context);
+    const std::string b = curve_json(session.report(), session.metric(), context);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(a.find("\"points\":["), std::string::npos);
+}
+
+TEST(StreamSession, CorruptSnapshotsAreRejected) {
+    StreamSession session(8, false, small_options(100, 6, 0));
+    const std::vector<Event> few = {{0, 1, 5}, {2, 3, 7}, {1, 4, 20}};
+    session.append(few);
+    std::vector<std::byte> snapshot = session.serialize();
+
+    // Flipping any byte breaks the checksum.
+    std::vector<std::byte> flipped = snapshot;
+    flipped[flipped.size() / 2] ^= std::byte{0x40};
+    EXPECT_THROW(StreamSession::restore(flipped, "test"), io_error);
+
+    // Truncation (even by one byte) is detected before parsing.
+    std::vector<std::byte> truncated(snapshot.begin(), snapshot.end() - 1);
+    EXPECT_THROW(StreamSession::restore(truncated, "test"), io_error);
+
+    // A wrong magic is rejected outright.
+    std::vector<std::byte> wrong_magic = snapshot;
+    wrong_magic[0] = std::byte{'X'};
+    EXPECT_THROW(StreamSession::restore(wrong_magic, "test"), io_error);
+
+    EXPECT_NO_THROW(StreamSession::restore(snapshot, "test"));
+}
+
+}  // namespace
+}  // namespace natscale
