@@ -13,7 +13,6 @@
 
 #include "bench_common.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -24,9 +23,8 @@ int main(int argc, char** argv) {
     banner(config, "Ablation: occupancy-method parameter sensitivity (Irvine)");
     Stopwatch watch;
 
-    const ReplicaSpec spec =
-        config.paper_scale ? irvine_spec() : irvine_spec().scaled(0.25);
-    const LinkStream stream = generate_replica(spec, config.seed);
+    const LinkStream stream =
+        replica_stream("irvine", config.paper_scale ? 1.0 : 0.25, config.seed);
 
     // --- 1. Histogram resolution ---------------------------------------------
     std::printf("\n[1] histogram bins (M-K metric discretization)\n");

@@ -14,7 +14,6 @@
 #include "bench_common.hpp"
 #include "core/delta_grid.hpp"
 #include "core/delta_sweep.hpp"
-#include "gen/replicas.hpp"
 #include "graph/connected_components.hpp"
 #include "graph/metrics.hpp"
 #include "linkstream/window_variants.hpp"
@@ -53,8 +52,8 @@ int main(int argc, char** argv) {
     banner(config, "Ablation: disjoint vs sliding vs growing windows (Enron)");
     Stopwatch watch;
 
-    const ReplicaSpec spec = config.paper_scale ? enron_spec() : enron_spec().scaled(0.4);
-    const LinkStream stream = generate_replica(spec, config.seed);
+    const LinkStream stream =
+        replica_stream("enron", config.paper_scale ? 1.0 : 0.4, config.seed);
 
     const auto grid = geometric_delta_grid(3'600, stream.period_end() / 4,
                                            config.paper_scale ? 10 : 6);

@@ -17,11 +17,30 @@
 #include <iostream>
 #include <string>
 
+#include "gen/registry.hpp"
 #include "util/format.hpp"
 #include "util/gnuplot.hpp"
 #include "util/timer.hpp"
 
 namespace natscale::bench {
+
+/// Formats a double so that parsing it back yields the identical value
+/// (17 significant digits cover every IEEE double): generator spec strings
+/// built from computed parameters stay bit-deterministic.
+inline std::string spec_number(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+/// The replica workload of a figure bench through the scenario factory:
+/// dataset name + scale factor (1.0 = published size).
+inline LinkStream replica_stream(const std::string& dataset, double scale,
+                                 std::uint64_t seed) {
+    std::string spec = "replica:dataset=" + dataset;
+    if (scale < 1.0) spec += ",scale=" + spec_number(scale);
+    return gen::generate_stream(spec, seed).stream;
+}
 
 struct BenchConfig {
     bool paper_scale = false;

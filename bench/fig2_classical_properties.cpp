@@ -17,7 +17,6 @@
 #include "core/classical_properties.hpp"
 #include "core/delta_grid.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -28,10 +27,9 @@ int main(int argc, char** argv) {
     banner(config, "Fig 2: classical properties vs aggregation period (Irvine)");
     Stopwatch watch;
 
-    const ReplicaSpec spec =
-        config.paper_scale ? irvine_spec() : irvine_spec().scaled(0.35);
-    const LinkStream stream = generate_replica(spec, config.seed);
-    std::printf("workload: %s n=%u events=%zu T=%s\n", spec.name.c_str(), stream.num_nodes(),
+    const LinkStream stream =
+        replica_stream("irvine", config.paper_scale ? 1.0 : 0.35, config.seed);
+    std::printf("workload: %s n=%u events=%zu T=%s\n", "irvine", stream.num_nodes(),
                 stream.num_events(),
                 format_duration(static_cast<double>(stream.period_end())).c_str());
 

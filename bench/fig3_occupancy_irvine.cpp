@@ -10,7 +10,6 @@
 #include "bench_common.hpp"
 #include "core/delta_sweep.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -21,9 +20,8 @@ int main(int argc, char** argv) {
     banner(config, "Fig 3: occupancy-rate ICDs and M-K proximity (Irvine)");
     Stopwatch watch;
 
-    const ReplicaSpec spec =
-        config.paper_scale ? irvine_spec() : irvine_spec().scaled(0.35);
-    const LinkStream stream = generate_replica(spec, config.seed);
+    const LinkStream stream =
+        replica_stream("irvine", config.paper_scale ? 1.0 : 0.35, config.seed);
 
     // Right panel: the full metric curve and gamma.
     SaturationOptions options;

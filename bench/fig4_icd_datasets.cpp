@@ -3,9 +3,10 @@
 // stretch-then-contract phenomenon of Fig. 3 is common to all datasets.
 #include <vector>
 
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/delta_sweep.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -18,10 +19,9 @@ int main(int argc, char** argv) {
 
     const double scale = config.paper_scale ? 1.0 : 0.3;
     std::string files;
-    for (const ReplicaSpec& base : {facebook_spec(), enron_spec(), manufacturing_spec()}) {
-        const ReplicaSpec spec = config.paper_scale ? base : base.scaled(scale);
-        const LinkStream stream = generate_replica(spec, config.seed);
-        std::printf("\n%s: n=%u events=%zu T=%s\n", spec.name.c_str(), stream.num_nodes(),
+    for (const std::string name : {"facebook", "enron", "manufacturing"}) {
+        const LinkStream stream = replica_stream(name, scale, config.seed);
+        std::printf("\n%s: n=%u events=%zu T=%s\n", name.c_str(), stream.num_nodes(),
                     stream.num_events(),
                     format_duration(static_cast<double>(stream.period_end())).c_str());
 
@@ -50,15 +50,15 @@ int main(int argc, char** argv) {
                            format_fixed(survival_at(0.5), 3),
                            format_fixed(survival_at(0.9), 3), format_count(hist.total())});
             DataSeries block;
-            block.name = spec.name + " ICD at Delta=" +
+            block.name = name + " ICD at Delta=" +
                          format_duration(static_cast<double>(delta));
             block.column_names = {"occupancy", "icd"};
             for (const auto& [x, y] : hist.icd_points()) block.rows.push_back({x, y});
             blocks.push_back(std::move(block));
         }
         table.print(std::cout);
-        write_dat_blocks(dat_path(config, "fig4_icd_" + spec.name), blocks);
-        files += "fig4_icd_" + spec.name + ".dat ";
+        write_dat_blocks(dat_path(config, "fig4_icd_" + name), blocks);
+        files += "fig4_icd_" + name + ".dat ";
     }
 
     std::printf("\nshape check: every dataset goes from mass near occ=0 (fine Delta)\n"

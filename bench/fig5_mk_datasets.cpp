@@ -1,9 +1,11 @@
 // Reproduces paper Fig. 5: M-K proximity curves and the saturation scales
 // for the Facebook, Enron and Manufacturing networks (replicas).
 // Paper reference values on the real traces: 46h, 76-78h, 12h.
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -15,17 +17,17 @@ int main(int argc, char** argv) {
     Stopwatch watch;
 
     struct PaperReference {
-        ReplicaSpec spec;
+        std::string dataset;
         double gamma_hours;
     };
     const std::vector<PaperReference> datasets{
-        {facebook_spec(), 46.0}, {enron_spec(), 78.0}, {manufacturing_spec(), 12.0}};
+        {"facebook", 46.0}, {"enron", 78.0}, {"manufacturing", 12.0}};
 
     std::string files;
     ConsoleTable summary({"dataset", "gamma (replica)", "gamma (paper)", "max M-K prox"});
-    for (const auto& [base, paper_gamma] : datasets) {
-        const ReplicaSpec spec = config.paper_scale ? base : base.scaled(0.3);
-        const LinkStream stream = generate_replica(spec, config.seed);
+    for (const auto& [name, paper_gamma] : datasets) {
+        const LinkStream stream =
+            replica_stream(name, config.paper_scale ? 1.0 : 0.3, config.seed);
 
         SaturationOptions options;
         options.coarse_points = config.paper_scale ? 48 : 28;
@@ -34,20 +36,20 @@ int main(int argc, char** argv) {
         const SaturationResult result = find_saturation_scale(stream, options);
 
         DataSeries series;
-        series.name = "fig5: M-K proximity vs Delta, " + spec.name + " replica";
+        series.name = "fig5: M-K proximity vs Delta, " + name + " replica";
         series.column_names = {"delta_s", "mk_proximity"};
         for (const auto& point : result.curve) {
             series.rows.push_back({static_cast<double>(point.delta),
                                    point.scores.mk_proximity});
         }
-        write_dat(dat_path(config, "fig5_mk_" + spec.name), series);
-        files += "fig5_mk_" + spec.name + ".dat ";
+        write_dat(dat_path(config, "fig5_mk_" + name), series);
+        files += "fig5_mk_" + name + ".dat ";
 
-        summary.add_row({spec.name,
+        summary.add_row({name,
                          format_duration(static_cast<double>(result.gamma)),
                          format_duration(paper_gamma * 3600.0),
                          format_fixed(result.at_gamma.scores.mk_proximity, 3)});
-        std::printf("%s: gamma = %s, curve of %zu points\n", spec.name.c_str(),
+        std::printf("%s: gamma = %s, curve of %zu points\n", name.c_str(),
                     format_duration(static_cast<double>(result.gamma)).c_str(),
                     result.curve.size());
     }

@@ -5,12 +5,11 @@
 //          low-activity time rho; the paper finds a plateau at the
 //          high-activity gamma until rho ~ 70-80%, then a rise to the
 //          low-activity gamma.
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/saturation.hpp"
-#include "gen/two_mode_stream.hpp"
-#include "gen/uniform_stream.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -38,14 +37,15 @@ int main(int argc, char** argv) {
     left_series.column_names = {"intercontact_s", "gamma_s"};
     std::vector<double> ratios;
     for (std::size_t step = 1; step <= n_steps; ++step) {
-        UniformStreamSpec spec;
-        spec.num_nodes = n_uniform;
-        spec.links_per_pair = step * 10;
-        spec.period_end = 100'000;
-        const auto stream = generate_uniform_stream(spec, config.seed + step);
+        const std::size_t links = step * 10;
+        const auto generated = gen::generate_stream(
+            "uniform:n=" + std::to_string(n_uniform) + ",links=" + std::to_string(links) +
+                ",T=100000",
+            config.seed + step);
+        const LinkStream& stream = generated.stream;
         const Time gamma = find_saturation_scale(stream, options).gamma;
-        const double intercontact = uniform_mean_intercontact(spec);
-        left_table.add_row({std::to_string(spec.links_per_pair),
+        const double intercontact = generated.truth.facts.at("mean_intercontact");
+        left_table.add_row({std::to_string(links),
                             format_fixed(intercontact, 1),
                             std::to_string(gamma),
                             format_fixed(static_cast<double>(gamma) / intercontact, 3)});
@@ -66,12 +66,9 @@ int main(int argc, char** argv) {
 
     // --- Right: two-mode networks --------------------------------------------
     std::printf("\n[right] two-mode networks: gamma vs %% of low-activity time\n");
-    TwoModeSpec base;
-    base.num_nodes = config.paper_scale ? 100 : 40;
-    base.alternations = 10;
-    base.links_high = 12;
-    base.links_low = 1;
-    base.period_end = 100'000;
+    const std::string two_mode_base =
+        "two_mode:n=" + std::to_string(config.paper_scale ? 100 : 40) +
+        ",alternations=10,links_high=12,links_low=1,T=100000";
 
     const std::vector<double> shares =
         config.paper_scale
@@ -84,9 +81,10 @@ int main(int argc, char** argv) {
     right_series.column_names = {"low_share_pct", "gamma_s"};
     std::vector<Time> gammas;
     for (double share : shares) {
-        TwoModeSpec spec = base;
-        spec.low_activity_share = share;
-        const auto stream = generate_two_mode_stream(spec, config.seed);
+        const LinkStream stream =
+            gen::generate_stream(two_mode_base + ",low_share=" + spec_number(share),
+                                 config.seed)
+                .stream;
         const Time gamma = find_saturation_scale(stream, options).gamma;
         right_table.add_row({format_fixed(share * 100.0, 0) + "%", std::to_string(gamma)});
         right_series.rows.push_back({share * 100.0, static_cast<double>(gamma)});

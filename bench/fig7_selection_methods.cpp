@@ -12,7 +12,6 @@
 #include "bench_common.hpp"
 #include "core/occupancy.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -23,9 +22,8 @@ int main(int argc, char** argv) {
     banner(config, "Fig 7: selection-method comparison (Irvine)");
     Stopwatch watch;
 
-    const ReplicaSpec spec =
-        config.paper_scale ? irvine_spec() : irvine_spec().scaled(0.35);
-    const LinkStream stream = generate_replica(spec, config.seed);
+    const LinkStream stream =
+        replica_stream("irvine", config.paper_scale ? 1.0 : 0.35, config.seed);
 
     SaturationOptions options;
     options.coarse_points = config.paper_scale ? 48 : 30;

@@ -12,7 +12,6 @@
 #include "core/delta_grid.hpp"
 #include "core/saturation.hpp"
 #include "core/validation.hpp"
-#include "gen/replicas.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -23,9 +22,8 @@ int main(int argc, char** argv) {
     banner(config, "Fig 8: aggregation-loss validation (Irvine)");
     Stopwatch watch;
 
-    const ReplicaSpec spec =
-        config.paper_scale ? irvine_spec() : irvine_spec().scaled(0.35);
-    const LinkStream stream = generate_replica(spec, config.seed);
+    const LinkStream stream =
+        replica_stream("irvine", config.paper_scale ? 1.0 : 0.35, config.seed);
 
     SaturationOptions sat_options;
     sat_options.coarse_points = config.paper_scale ? 40 : 24;

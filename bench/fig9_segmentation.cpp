@@ -8,11 +8,11 @@
 // segmentation extension splits the regimes first and returns BOTH scales;
 // its recommendation min(gamma_high, gamma_low) protects the active parts
 // at every rho, which is exactly the improvement the paper calls for.
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/segmentation.hpp"
-#include "gen/two_mode_stream.hpp"
 #include "util/table.hpp"
 
 using namespace natscale;
@@ -23,12 +23,9 @@ int main(int argc, char** argv) {
     banner(config, "Fig 9 (extension): segmentation vs global occupancy method");
     Stopwatch watch;
 
-    TwoModeSpec base;
-    base.num_nodes = config.paper_scale ? 100 : 40;
-    base.alternations = 10;
-    base.links_high = 12;
-    base.links_low = 1;
-    base.period_end = 100'000;
+    const std::string two_mode_base =
+        "two_mode:n=" + std::to_string(config.paper_scale ? 100 : 40) +
+        ",alternations=10,links_high=12,links_low=1,T=100000";
 
     SaturationOptions sat;
     sat.coarse_points = config.paper_scale ? 40 : 24;
@@ -48,9 +45,10 @@ int main(int argc, char** argv) {
     series.column_names = {"low_share_pct", "global_gamma", "gamma_high", "gamma_low",
                            "recommended"};
     for (double share : shares) {
-        TwoModeSpec spec = base;
-        spec.low_activity_share = share;
-        const auto stream = generate_two_mode_stream(spec, config.seed);
+        const LinkStream stream =
+            gen::generate_stream(two_mode_base + ",low_share=" + spec_number(share),
+                                 config.seed)
+                .stream;
 
         const Time global = find_saturation_scale(stream, sat).gamma;
         const auto segmented = find_segmented_saturation(stream, seg, sat);

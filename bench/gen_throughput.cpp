@@ -1,0 +1,147 @@
+// Generator throughput: events/second for one sized-up spec per registered
+// stream model.  Plain binary (no google-benchmark dependency) so the CI
+// Release leg can always run it; --json=FILE dumps the numbers next to the
+// other BENCH_*.json artifacts to track generator regressions over time.
+//
+// Usage: gen_throughput [--repeats=N] [--json=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+#include "util/timer.hpp"
+
+using namespace natscale;
+
+namespace {
+
+/// One throughput workload per model, sized so a run takes milliseconds —
+/// large enough that per-call overhead vanishes, small enough for CI.
+const char* const kWorkloads[] = {
+    "uniform:n=100,links=10,T=100000",
+    "two_mode:n=60,alternations=10,links_high=12,links_low=1,T=100000",
+    "replica:dataset=enron,scale=0.5",
+    "bursty:n=60,T=60000,alpha=1.5,min_gap=8",
+    "periodic:n=60,T=100000,period=5000,duty=0.5,events_high=200",
+    "growing:n=80,T=80000,events=50000",
+    "merge_split:n=80,T=80000,events=50000",
+    "dup_heavy:n=40,T=100000,instants=50,pairs_per_instant=100,copies=4",
+    "int64_edge:n=40,events=20000,width=4096",
+    "single_instant:n=40,T=100000,events=20000",
+};
+
+std::uint64_t parse_u64(const std::string& arg, std::size_t prefix_len) {
+    try {
+        const std::string value = arg.substr(prefix_len);
+        std::size_t consumed = 0;
+        const unsigned long long parsed = std::stoull(value, &consumed);
+        if (value.empty() || value[0] == '-' || consumed != value.size() || parsed == 0) {
+            throw std::invalid_argument(value);
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid number in '%s'\n", arg.c_str());
+        std::exit(2);
+    }
+}
+
+struct ModelResult {
+    std::string model;
+    std::string spec;
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+    double events_per_second = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t repeats = 5;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--repeats=", 0) == 0) {
+            repeats = parse_u64(arg, 10);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            std::fprintf(stderr, "usage: gen_throughput [--repeats=N] [--json=FILE]\n");
+            return 2;
+        }
+    }
+
+    std::vector<ModelResult> results;
+    try {
+        for (const char* text : kWorkloads) {
+            const gen::GenSpec spec = gen::parse_gen_spec(text);
+
+            // Correctness first: a fast generator that drifts from its own
+            // ground truth is a regression, not a speedup.
+            const auto first = gen::generate_stream(spec);
+            const auto violations = first.truth.verify(first.stream);
+            if (!violations.empty()) {
+                std::fprintf(stderr, "%s: ground truth violated: %s\n", text,
+                             violations.front().c_str());
+                return 1;
+            }
+
+            Stopwatch watch;
+            for (std::uint64_t r = 0; r < repeats; ++r) {
+                const auto generated = gen::generate_stream(spec);
+                if (generated.stream.num_events() != first.stream.num_events()) {
+                    std::fprintf(stderr, "%s: nondeterministic event count\n", text);
+                    return 1;
+                }
+            }
+            const double seconds = watch.elapsed_seconds();
+
+            ModelResult result;
+            result.model = spec.model;
+            result.spec = gen::to_string(spec);
+            result.events = first.stream.num_events();
+            result.seconds = seconds / static_cast<double>(repeats);
+            result.events_per_second =
+                result.seconds > 0.0
+                    ? static_cast<double>(result.events) / result.seconds
+                    : 0.0;
+            results.push_back(result);
+
+            std::printf("%-14s %9llu events  %8.2f ms/gen  %12.0f events/s\n",
+                        result.model.c_str(),
+                        static_cast<unsigned long long>(result.events),
+                        result.seconds * 1e3, result.events_per_second);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::FILE* out = std::fopen(json_path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n"
+                     "  \"benchmark\": \"gen_throughput\",\n"
+                     "  \"repeats\": %llu,\n"
+                     "  \"models\": [\n",
+                     static_cast<unsigned long long>(repeats));
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const ModelResult& r = results[i];
+            std::fprintf(out,
+                         "    {\"model\": \"%s\", \"spec\": \"%s\", \"events\": %llu, "
+                         "\"seconds_per_generation\": %.6f, "
+                         "\"events_per_second\": %.1f}%s\n",
+                         r.model.c_str(), r.spec.c_str(),
+                         static_cast<unsigned long long>(r.events), r.seconds,
+                         r.events_per_second, i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -13,21 +13,21 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/delta_grid.hpp"
 #include "core/delta_sweep.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 
 namespace {
 
 using namespace natscale;
 
 LinkStream sweep_workload() {
-    return generate_replica(enron_spec().scaled(0.2), 7);
+    return gen::generate_stream("replica:dataset=enron,scale=0.2", 7).stream;
 }
 
 std::vector<Time> sweep_grid(const LinkStream& stream) {
@@ -81,8 +81,7 @@ BENCHMARK(BM_DeltaSweep_Batched)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 /// Full method on a small Enron-like replica, sweeping grid resolution.
 void BM_OccupancyMethod_GridResolution(benchmark::State& state) {
-    const auto spec = enron_spec().scaled(0.2);
-    const auto stream = generate_replica(spec, 7);
+    const auto stream = gen::generate_stream("replica:dataset=enron,scale=0.2", 7).stream;
     SaturationOptions options;
     options.coarse_points = static_cast<std::size_t>(state.range(0));
     options.refine_rounds = 1;
@@ -98,11 +97,11 @@ BENCHMARK(BM_OccupancyMethod_GridResolution)->Arg(12)->Arg(24)->Arg(48)
 
 /// Full method vs workload size (time-uniform networks).
 void BM_OccupancyMethod_WorkloadSize(benchmark::State& state) {
-    UniformStreamSpec spec;
-    spec.num_nodes = static_cast<NodeId>(state.range(0));
-    spec.links_per_pair = 6;
-    spec.period_end = 50'000;
-    const auto stream = generate_uniform_stream(spec, 3);
+    const auto stream =
+        gen::generate_stream("uniform:n=" + std::to_string(state.range(0)) +
+                                 ",links=6,T=50000",
+                             3)
+            .stream;
     SaturationOptions options;
     options.coarse_points = 24;
     options.refine_rounds = 1;
@@ -118,8 +117,8 @@ BENCHMARK(BM_OccupancyMethod_WorkloadSize)->Arg(20)->Arg(40)->Arg(80)
 
 /// Single-Delta evaluation (the sweep's unit of work).
 void BM_EvaluateDelta(benchmark::State& state) {
-    const auto spec = manufacturing_spec().scaled(0.2);
-    const auto stream = generate_replica(spec, 9);
+    const auto stream =
+        gen::generate_stream("replica:dataset=manufacturing,scale=0.2", 9).stream;
     SaturationOptions options;
     const Time delta = state.range(0);
     for (auto _ : state) {

@@ -6,9 +6,12 @@
 // enron 78h @ 0.29, manufacturing 12h @ 2.22.  The replicas match sizes and
 // activity; gammas are expected to match in ordering and order of magnitude
 // (half a day to three days), not exactly.
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "core/saturation.hpp"
-#include "gen/replicas.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/table.hpp"
 
@@ -21,14 +24,14 @@ int main(int argc, char** argv) {
     Stopwatch watch;
 
     struct PaperRow {
-        ReplicaSpec spec;
+        std::string dataset;
         double paper_gamma_hours;
         double paper_activity;
     };
-    const std::vector<PaperRow> rows{{irvine_spec(), 18.0, 0.66},
-                                     {facebook_spec(), 46.0, 0.12},
-                                     {enron_spec(), 78.0, 0.29},
-                                     {manufacturing_spec(), 12.0, 2.22}};
+    const std::vector<PaperRow> rows{{"irvine", 18.0, 0.66},
+                                     {"facebook", 46.0, 0.12},
+                                     {"enron", 78.0, 0.29},
+                                     {"manufacturing", 12.0, 2.22}};
 
     ConsoleTable table({"dataset", "nodes", "events", "duration", "activity", "act(paper)",
                         "gamma", "gamma(paper)"});
@@ -38,8 +41,8 @@ int main(int argc, char** argv) {
 
     std::vector<std::pair<double, Time>> activity_gamma;
     for (const auto& row : rows) {
-        const ReplicaSpec spec = config.paper_scale ? row.spec : row.spec.scaled(0.3);
-        const LinkStream stream = generate_replica(spec, config.seed);
+        const LinkStream stream =
+            replica_stream(row.dataset, config.paper_scale ? 1.0 : 0.3, config.seed);
         const auto stats = compute_stream_stats(stream);
 
         SaturationOptions options;
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
         options.refine_points = 8;
         const SaturationResult result = find_saturation_scale(stream, options);
 
-        table.add_row({spec.name, std::to_string(stats.num_nodes),
+        table.add_row({row.dataset, std::to_string(stats.num_nodes),
                        format_count(stats.num_events),
                        format_duration(static_cast<double>(stats.period_end)),
                        format_fixed(stats.events_per_node_per_day, 2),

@@ -26,7 +26,7 @@
 #include "core/report.hpp"
 #include "core/saturation.hpp"
 #include "examples/example_cli.hpp"
-#include "gen/replicas.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -67,10 +67,11 @@ int main(int argc, char** argv) {
     std::vector<Row> rows;
 
     ConsoleTable table({"dataset", "nodes", "events", "duration", "msg/node/day", "gamma"});
-    for (const ReplicaSpec& base : all_replica_specs()) {
-        const ReplicaSpec spec = full ? base : base.scaled(scale);
+    for (const std::string name : {"irvine", "facebook", "enron", "manufacturing"}) {
+        const std::string spec = "replica:dataset=" + name +
+                                 (full ? "" : ",scale=" + format_fixed(scale, 2));
         Stopwatch watch;
-        const LinkStream stream = generate_replica(spec, /*seed=*/7);
+        const LinkStream stream = gen::generate_stream(spec, /*seed=*/7).stream;
         const auto stats = compute_stream_stats(stream);
 
         SweepConfig options;
@@ -79,14 +80,14 @@ int main(int argc, char** argv) {
         options.scan_threads = scan_threads;
         options.backend = backend;
         const auto result = find_saturation_scale(stream, options);
-        rows.push_back({spec.name, stats.events_per_node_per_day, result.gamma});
+        rows.push_back({name, stats.events_per_node_per_day, result.gamma});
 
-        table.add_row({spec.name, std::to_string(stats.num_nodes),
+        table.add_row({name, std::to_string(stats.num_nodes),
                        format_count(stats.num_events),
                        format_duration(static_cast<double>(stats.period_end)),
                        format_fixed(stats.events_per_node_per_day, 2),
                        format_duration(static_cast<double>(result.gamma))});
-        std::cout << spec.name << " done in " << format_duration(watch.elapsed_seconds())
+        std::cout << name << " done in " << format_duration(watch.elapsed_seconds())
                   << "\n";
     }
     std::cout << '\n';

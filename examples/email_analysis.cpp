@@ -8,13 +8,14 @@
 // Run:  ./build/examples/email_analysis [--full]
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/classical_properties.hpp"
 #include "core/report.hpp"
 #include "linkstream/aggregation.hpp"
 #include "core/saturation.hpp"
 #include "core/validation.hpp"
-#include "gen/replicas.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -24,13 +25,14 @@ using namespace natscale;
 
 int main(int argc, char** argv) {
     const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-    const ReplicaSpec spec = full ? enron_spec() : enron_spec().scaled(0.4);
+    const std::string spec =
+        full ? "replica:dataset=enron" : "replica:dataset=enron,scale=0.4";
 
     Stopwatch watch;
-    const LinkStream stream = generate_replica(spec, /*seed=*/2001);
-    std::cout << "generated the '" << spec.name << "' replica in "
+    const LinkStream stream = gen::generate_stream(spec, /*seed=*/2001).stream;
+    std::cout << "generated the 'enron' replica in "
               << format_duration(watch.elapsed_seconds()) << "\n";
-    print_stream_summary(std::cout, spec.name, compute_stream_stats(stream));
+    print_stream_summary(std::cout, "enron", compute_stream_stats(stream));
 
     // --- The saturation scale ------------------------------------------------
     watch.reset();

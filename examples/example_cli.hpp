@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "stats/uniformity.hpp"
 #include "temporal/reachability.hpp"
@@ -71,6 +72,47 @@ inline UniformityMetric parse_metric(const std::string& arg, const std::string& 
     if (value == "shannon") return UniformityMetric::shannon_entropy;
     if (value == "cre") return UniformityMetric::cre;
     invalid_value(flag, value, "mk|stddev|shannon|cre");
+}
+
+/// Floating-point value of an `--option=X` argument; exits 2 on junk and
+/// trailing garbage (std::stod would silently drop "1.5abc"'s tail).
+inline double parse_double(const std::string& arg, const std::string& flag) {
+    const std::string value = option_value(arg, flag);
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(value, &consumed);
+        if (value.empty() || consumed != value.size()) {
+            throw std::invalid_argument(value);
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        invalid_value(flag, value, "a number");
+    }
+}
+
+/// Splits a repeated `--param=key=value` option into (key, value); exits 2
+/// when the '=' between key and value is missing or the key is empty.  The
+/// VALUE is validated later by the generator registry, whose errors name the
+/// param ("invalid value 'x' for param 'rate' (expected a number)").
+inline std::pair<std::string, std::string> parse_key_value(const std::string& arg,
+                                                           const std::string& flag) {
+    const std::string value = option_value(arg, flag);
+    const std::size_t eq = value.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        invalid_value(flag, value, "key=value");
+    }
+    return {value.substr(0, eq), value.substr(eq + 1)};
+}
+
+/// `--delimiter=` value: a single character, or one of the spelled-out
+/// names tab|space|comma (a literal tab is awkward to pass in a shell).
+inline char parse_delimiter(const std::string& arg, const std::string& flag) {
+    const std::string value = option_value(arg, flag);
+    if (value == "tab") return '\t';
+    if (value == "space") return ' ';
+    if (value == "comma") return ',';
+    if (value.size() == 1) return value[0];
+    invalid_value(flag, value, "a single character or tab|space|comma");
 }
 
 /// `--format=` / `--to=` values; `automatic` sniffs the file's magic bytes.

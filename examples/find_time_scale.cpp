@@ -11,6 +11,11 @@
 //                   [--curve] [--dat=prefix] [--json] [--segments]
 //   find_time_scale convert <input> <output> [--directed]
 //                   [--format=auto|text|natbin] [--to=natbin|text]
+//                   [--columns=uvt|tuv|...] [--delimiter=C|tab|space|comma]
+//                   [--time-scale=X] [--skip-header=N] [--validate]
+//   find_time_scale gen <spec> [--param=key=value ...] [--seed=N]
+//                   [--truth] [--out=path] [--to=natbin|text]
+//   find_time_scale gen --list
 //   find_time_scale watch <file.natbin> [--points=N]
 //                   [--metric=mk|stddev|shannon|cre] [--threads=N]
 //                   [--every-events=N] [--every-seconds=S] [--poll-ms=M]
@@ -21,7 +26,18 @@
 // compact binary format of linkstream/binary_io: they reopen via mmap, so
 // multi-GB traces are analyzed out-of-core without loading the events into
 // RAM.  `convert` turns one into the other (text -> natbin is the common
-// direction; the labels, node universe and period survive exactly).
+// direction; the labels, node universe and period survive exactly), and its
+// --columns/--delimiter/--time-scale/--skip-header flags adapt published
+// CSV/TSV conventions (SNAP `u v t`, sociopatterns `t i j`, millisecond
+// stamps, header rows) on the way in; --validate reopens the output through
+// the full validation pass before declaring success.
+//
+// `gen` resolves a generator spec ("model:key=value,..." — see
+// docs/generators.md) through the scenario factory of src/gen/registry.hpp
+// and prints the stream summary plus, with --truth, the model's
+// ground-truth report; --out writes the stream for the main command or any
+// other consumer.  `gen --list` prints the model catalogue with per-model
+// parameters and defaults.
 // Output: the saturation scale gamma, and optionally the full metric curve,
 // machine-readable JSON, per-activity-regime scales, and gnuplot .dat
 // files.
@@ -40,13 +56,18 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/report.hpp"
 #include "core/segmentation.hpp"
 #include "examples/example_cli.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/binary_io.hpp"
+#include "linkstream/csv_adapter.hpp"
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "natscale/api.hpp"
@@ -76,6 +97,12 @@ void usage() {
                  "                       [--dat=prefix] [--json] [--segments]\n"
                  "       find_time_scale convert <input> <output> [--directed]\n"
                  "                       [--format=auto|text|natbin] [--to=natbin|text]\n"
+                 "                       [--columns=uvt|tuv|...]\n"
+                 "                       [--delimiter=C|tab|space|comma]\n"
+                 "                       [--time-scale=X] [--skip-header=N] [--validate]\n"
+                 "       find_time_scale gen <spec> [--param=key=value ...] [--seed=N]\n"
+                 "                       [--truth] [--out=path] [--to=natbin|text]\n"
+                 "       find_time_scale gen --list\n"
                  "       find_time_scale watch <file.natbin> [--points=N]\n"
                  "                       [--metric=mk|stddev|shannon|cre] [--threads=N]\n"
                  "                       [--every-events=N] [--every-seconds=S]\n"
@@ -103,24 +130,55 @@ LoadedStream load_input(const std::string& path, FormatChoice format,
     return loaded;
 }
 
+/// Post-conversion / post-generation summary: events, node universe, time
+/// span, label count, directedness — what the output file actually carries.
+void print_stream_shape(const std::string& path, const LinkStream& stream,
+                        std::size_t num_labels) {
+    std::cout << "wrote " << path << ": " << stream.num_events() << " events, n="
+              << stream.num_nodes() << ", T=" << stream.period_end();
+    if (!stream.empty()) {
+        std::cout << " (events span [" << stream.first_time() << ", " << stream.last_time()
+                  << "], " << stream.num_distinct_timestamps() << " distinct timestamps)";
+    }
+    std::cout << ", " << num_labels << " labels"
+              << (stream.directed() ? ", directed" : ", undirected") << '\n';
+}
+
 /// `find_time_scale convert <input> <output>`: re-encodes a stream.  The
 /// natbin output preserves what text cannot: the exact node universe n
 /// (isolated nodes included), the period of study T, directedness, and the
-/// dense-id <-> label mapping.
+/// dense-id <-> label mapping.  Text inputs go through the CSV/TSV adapter,
+/// whose defaults match the classic lenient loader; malformed rows exit 2
+/// with the path, line number and a named reason.
 int run_convert(int argc, char** argv) {
-    LoadOptions load_options;
+    CsvFormat csv;
     FormatChoice in_format = FormatChoice::automatic;
     FormatChoice out_format = FormatChoice::natbin;
+    bool validate = false;
     std::string input;
     std::string output;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--directed") {
-            load_options.directed = true;
+            csv.directed = true;
         } else if (arg.rfind("--format=", 0) == 0) {
             in_format = parse_format(arg, "--format=", true);
         } else if (arg.rfind("--to=", 0) == 0) {
             out_format = parse_format(arg, "--to=", false);
+        } else if (arg.rfind("--columns=", 0) == 0) {
+            csv.columns = examples::option_value(arg, "--columns=");
+        } else if (arg.rfind("--delimiter=", 0) == 0) {
+            csv.delimiter = examples::parse_delimiter(arg, "--delimiter=");
+        } else if (arg.rfind("--time-scale=", 0) == 0) {
+            csv.time_scale = examples::parse_double(arg, "--time-scale=");
+            if (!(csv.time_scale > 0.0)) {
+                examples::invalid_value("--time-scale=", std::to_string(csv.time_scale),
+                                        "a positive number");
+            }
+        } else if (arg.rfind("--skip-header=", 0) == 0) {
+            csv.skip_header = parse_count(arg, "--skip-header=");
+        } else if (arg == "--validate") {
+            validate = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -140,15 +198,175 @@ int run_convert(int argc, char** argv) {
         return 2;
     }
     try {
-        const LoadedStream loaded = load_input(input, in_format, load_options);
+        validate_csv_columns(csv.columns, input);  // before touching the file
+        FormatChoice resolved = in_format;
+        if (resolved == FormatChoice::automatic) {
+            resolved = detect_stream_format(input) == StreamFormat::natbin
+                           ? FormatChoice::natbin
+                           : FormatChoice::text;
+        }
+        LoadedStream loaded = [&] {
+            if (resolved == FormatChoice::text) return load_csv_stream(input, csv);
+            LoadedStream opened = open_natbin(input);
+            if (csv.directed && !opened.stream.directed()) {
+                std::fprintf(stderr,
+                             "warning: --directed ignored: '%s' is a natbin file flagged "
+                             "undirected\n",
+                             input.c_str());
+            }
+            return opened;
+        }();
         if (out_format == FormatChoice::natbin) {
             save_natbin(output, loaded.stream, loaded.node_labels);
         } else {
             save_link_stream(output, loaded.stream, loaded.node_labels);
         }
-        std::cout << "wrote " << output << ": " << loaded.stream.num_events() << " events, n="
-                  << loaded.stream.num_nodes() << ", T=" << loaded.stream.period_end()
-                  << (loaded.stream.directed() ? ", directed" : ", undirected") << '\n';
+        print_stream_shape(output, loaded.stream, loaded.node_labels.size());
+        if (validate) {
+            // Reopen through the strict loader: one full validation pass
+            // (bounds, canonical order, label table) over what we just wrote.
+            const LoadedStream reread = out_format == FormatChoice::natbin
+                                            ? open_natbin(output)
+                                            : load_link_stream(output);
+            if (reread.stream.num_events() != loaded.stream.num_events()) {
+                std::fprintf(stderr, "error: validation reread %zu events, expected %zu\n",
+                             reread.stream.num_events(), loaded.stream.num_events());
+                return 1;
+            }
+            std::cout << "validated " << output << ": OK ("
+                      << reread.stream.num_events() << " events)\n";
+        }
+    } catch (const io_error& e) {
+        // Malformed input rows and corrupt natbin records: a *diagnosed*
+        // failure with a named reason, distinct from environmental errors.
+        std::fprintf(stderr, "error: malformed input: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
+/// `find_time_scale gen --list`: the model catalogue, one block per model.
+void print_gen_catalogue() {
+    for (const auto& model : gen::generator_registry().models()) {
+        std::printf("%-14s [%s] %s\n", model.name.c_str(), gen::to_string(model.kind),
+                    model.summary.c_str());
+        for (const auto& param : model.params) {
+            std::printf("    %-18s default %-22s %s\n", param.name.c_str(),
+                        param.default_value.c_str(), param.help.c_str());
+        }
+    }
+}
+
+/// `find_time_scale gen <spec>`: resolves a spec through the generator
+/// registry; prints the stream summary, optionally the ground-truth report
+/// (--truth), and optionally writes the stream (--out, --to).  Spec errors
+/// (unknown model/param, bad values) exit 2 with the registry's message.
+int run_gen(int argc, char** argv) {
+    bool list = false;
+    bool truth = false;
+    std::string spec_text;
+    std::string out_path;
+    FormatChoice out_format = FormatChoice::natbin;
+    bool seed_set = false;
+    std::size_t seed = 0;
+    std::vector<std::pair<std::string, std::string>> params;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--truth") {
+            truth = true;
+        } else if (arg.rfind("--param=", 0) == 0) {
+            params.push_back(examples::parse_key_value(arg, "--param="));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seed = parse_count(arg, "--seed=");
+            seed_set = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = examples::option_value(arg, "--out=");
+        } else if (arg.rfind("--to=", 0) == 0) {
+            out_format = parse_format(arg, "--to=", false);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        } else if (spec_text.empty()) {
+            spec_text = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (list) {
+        print_gen_catalogue();
+        return 0;
+    }
+    if (spec_text.empty()) {
+        usage();
+        return 2;
+    }
+    try {
+        gen::GenSpec spec = gen::parse_gen_spec(spec_text);
+        for (const auto& [key, value] : params) {
+            if (key == "seed") {
+                spec.seed = examples::parse_count("--param=seed=" + value, "--param=seed=");
+            } else {
+                spec.params[key] = value;  // repeated options: last one wins
+            }
+        }
+        if (seed_set) spec.seed = seed;
+
+        const gen::GeneratedStream generated = gen::generate_stream(spec);
+        std::cout << "generated " << gen::to_string(spec) << ": "
+                  << generated.stream.num_events() << " events, n="
+                  << generated.stream.num_nodes() << ", T=" << generated.stream.period_end()
+                  << ", " << generated.stream.num_distinct_timestamps()
+                  << " distinct timestamps"
+                  << (generated.stream.directed() ? ", directed" : ", undirected") << '\n';
+
+        if (truth) {
+            const gen::GroundTruth& report = generated.truth;
+            std::cout << "ground truth (" << report.notes << "):\n";
+            std::cout << "  events=" << report.num_events << " (bounds ["
+                      << report.min_events << ", ";
+            if (report.max_events == std::numeric_limits<std::uint64_t>::max()) {
+                std::cout << "inf";
+            } else {
+                std::cout << report.max_events;
+            }
+            std::cout << "])\n";
+            for (const auto& [name, value] : report.facts) {
+                std::cout << "  fact " << name << " = " << value << '\n';
+            }
+            const auto violations = report.verify(generated.stream);
+            for (const auto& invariant : report.invariants) {
+                std::cout << "  invariant " << invariant.name << ": "
+                          << (invariant.check(generated.stream).empty() ? "PASS" : "FAIL")
+                          << '\n';
+            }
+            if (!violations.empty()) {
+                for (const auto& violation : violations) {
+                    std::fprintf(stderr, "error: ground truth violated: %s\n",
+                                 violation.c_str());
+                }
+                return 1;
+            }
+        }
+
+        if (!out_path.empty()) {
+            if (out_format == FormatChoice::natbin) {
+                save_natbin(out_path, generated.stream);
+            } else {
+                save_link_stream(out_path, generated.stream);
+            }
+            print_stream_shape(out_path, generated.stream, /*num_labels=*/0);
+        }
+    } catch (const gen::gen_error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -328,6 +546,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (std::strcmp(argv[1], "convert") == 0) return run_convert(argc, argv);
+    if (std::strcmp(argv[1], "gen") == 0) return run_gen(argc, argv);
     if (std::strcmp(argv[1], "watch") == 0) return run_watch(argc, argv);
     std::string path;
     LoadOptions load_options;

@@ -11,7 +11,7 @@
 
 #include "core/report.hpp"
 #include "core/saturation.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "graph/metrics.hpp"
 #include "linkstream/aggregation.hpp"
 #include "linkstream/stream_stats.hpp"
@@ -21,12 +21,10 @@ using namespace natscale;
 
 int main() {
     // 1. A synthetic link stream: 50 nodes, 8 links per pair, ~28 hours.
-    //    (Use load_link_stream("mytrace.txt") for a real `u v t` file.)
-    UniformStreamSpec spec;
-    spec.num_nodes = 50;
-    spec.links_per_pair = 8;
-    spec.period_end = 100'000;  // seconds
-    const LinkStream stream = generate_uniform_stream(spec, /*seed=*/42);
+    //    (Use load_link_stream("mytrace.txt") for a real `u v t` file; see
+    //    `find_time_scale gen --list` for every available stream model.)
+    const LinkStream stream =
+        gen::generate_stream("uniform:n=50,links=8,T=100000", /*seed=*/42).stream;
 
     print_stream_summary(std::cout, "quickstart", compute_stream_stats(stream));
 

@@ -1,0 +1,96 @@
+// GroundTruth: what a generator knows about its stream by construction.
+//
+// Every registry model returns one of these next to the stream (the
+// spec/report idiom of sampling-benchmark generators): the exact shape
+// fields (n, T, directedness, event count), bounds that hold for every
+// seed, named numeric facts (e.g. the mean inter-contact time a figure
+// plots against), and a list of executable invariants.  The corpus
+// harness (tests/test_gen_corpus.cpp) asserts verify() on every spec it
+// sweeps, so a model whose report drifts from its stream fails loudly —
+// the report is a contract, not documentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linkstream/link_stream.hpp"
+#include "util/types.hpp"
+
+namespace natscale::gen {
+
+/// One executable model invariant.  `check` returns an empty string when
+/// the invariant holds, else a human-readable failure description.  Checks
+/// run on the actual generated stream, so they are deterministic for a
+/// fixed spec (statistical invariants are safe to assert: the corpus pins
+/// its seeds).
+struct Invariant {
+    std::string name;
+    std::function<std::string(const LinkStream&)> check;
+};
+
+struct GroundTruth {
+    /// Filled by the registry: the resolved model name and canonical spec.
+    std::string model;
+    std::string spec;
+
+    // --- exact shape (must match the stream field-for-field) ---------------
+    NodeId num_nodes = 0;
+    Time period_end = 0;
+    bool directed = false;
+    /// Exact generated event count (the registry cross-checks it).
+    std::uint64_t num_events = 0;
+
+    // --- bounds that hold for every seed ------------------------------------
+    std::uint64_t min_events = 0;
+    std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+    std::size_t max_distinct_timestamps = std::numeric_limits<std::size_t>::max();
+
+    /// Named numeric facts (e.g. "mean_intercontact", "cross_events").
+    std::map<std::string, double> facts;
+
+    /// Executable invariants; see Invariant.
+    std::vector<Invariant> invariants;
+
+    std::string notes;
+
+    /// Checks the exact fields, the bounds and every invariant against
+    /// `stream`; returns one message per violation (empty = all good).
+    std::vector<std::string> verify(const LinkStream& stream) const {
+        std::vector<std::string> errors;
+        auto mismatch = [&](const std::string& what, auto expected, auto got) {
+            errors.push_back(what + ": expected " + std::to_string(expected) + ", got " +
+                             std::to_string(got));
+        };
+        if (stream.num_nodes() != num_nodes) mismatch("num_nodes", num_nodes, stream.num_nodes());
+        if (stream.period_end() != period_end) {
+            mismatch("period_end", period_end, stream.period_end());
+        }
+        if (stream.directed() != directed) mismatch("directed", directed, stream.directed());
+        if (stream.num_events() != num_events) {
+            mismatch("num_events", num_events, stream.num_events());
+        }
+        if (stream.num_events() < min_events) {
+            mismatch("min_events bound", min_events, stream.num_events());
+        }
+        if (stream.num_events() > max_events) {
+            mismatch("max_events bound", max_events, stream.num_events());
+        }
+        if (stream.num_distinct_timestamps() > max_distinct_timestamps) {
+            mismatch("max_distinct_timestamps bound", max_distinct_timestamps,
+                     stream.num_distinct_timestamps());
+        }
+        for (const auto& invariant : invariants) {
+            const std::string failure = invariant.check(stream);
+            if (!failure.empty()) {
+                errors.push_back("invariant '" + invariant.name + "': " + failure);
+            }
+        }
+        return errors;
+    }
+};
+
+}  // namespace natscale::gen

@@ -1,0 +1,14 @@
+// Internal: registration hooks of the built-in model families, called once
+// by generator_registry().  Not part of the public surface — include
+// gen/registry.hpp instead.
+#pragma once
+
+namespace natscale::gen {
+
+class GeneratorRegistry;
+
+void register_paper_models(GeneratorRegistry& registry);
+void register_dynamics_models(GeneratorRegistry& registry);
+void register_adversarial_models(GeneratorRegistry& registry);
+
+}  // namespace natscale::gen

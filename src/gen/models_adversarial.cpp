@@ -1,0 +1,270 @@
+// Adversarial corpora: degenerate stream shapes that exercise edge cases of
+// the loaders, the reachability backends and the sweep engines — duplicate
+// storms on a handful of instants ("dup_heavy"), timestamps at both rims of
+// the int64 range ("int64_edge"), a stream with no events at all ("empty")
+// and one where the whole history collapses onto a single instant
+// ("single_instant").  CI runs every one of these under ASan/UBSan.
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "gen/models.hpp"
+#include "gen/registry.hpp"
+#include "util/rng.hpp"
+
+namespace natscale::gen {
+
+namespace {
+
+// Distinct uniform pair on [0, n); caller guarantees n >= 2.
+std::pair<NodeId, NodeId> random_pair(Rng& rng, NodeId n) {
+    const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+    NodeId v;
+    do {
+        v = static_cast<NodeId>(rng.uniform_index(n));
+    } while (v == u);
+    return {u, v};
+}
+
+// --- dup_heavy --------------------------------------------------------------
+//
+// All activity collapses onto `instants` evenly spaced timestamps; each
+// instant carries `pairs_per_instant` random pairs duplicated `copies`
+// times.  Stresses duplicate handling and the distinct-timestamp machinery
+// (instant index, natbin validation, delta grids with T >> #instants).
+
+GeneratedStream make_dup_heavy(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 12));
+    const Time period_end = reader.get_time("T", 1'000);
+    const std::uint64_t instants = reader.get_count("instants", 4);
+    const std::uint64_t pairs_per_instant = reader.get_count("pairs_per_instant", 20);
+    const std::uint64_t copies = reader.get_count("copies", 4);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(instants >= 1, "instants", std::to_string(instants), ">= 1");
+    ParamReader::require(pairs_per_instant >= 1, "pairs_per_instant",
+                         std::to_string(pairs_per_instant), ">= 1");
+    ParamReader::require(copies >= 1, "copies", std::to_string(copies), ">= 1");
+    ParamReader::require(period_end > static_cast<Time>(instants), "T",
+                         std::to_string(period_end), "> instants");
+    const double total = static_cast<double>(instants) *
+                         static_cast<double>(pairs_per_instant) *
+                         static_cast<double>(copies);
+    if (!(total <= 1e9)) {
+        throw gen_error("spec '" + spec.model + "' would generate ~" +
+                        std::to_string(static_cast<std::uint64_t>(total)) +
+                        " events (cap 1000000000)");
+    }
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(total));
+    for (std::uint64_t j = 0; j < instants; ++j) {
+        // Evenly spaced interior instants; distinct because T > instants.
+        const Time t = static_cast<Time>(j + 1) * period_end /
+                       static_cast<Time>(instants + 1);
+        for (std::uint64_t p = 0; p < pairs_per_instant; ++p) {
+            const auto [u, v] = random_pair(rng, n);
+            for (std::uint64_t c = 0; c < copies; ++c) events.push_back({u, v, t});
+        }
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    const std::uint64_t exact = instants * pairs_per_instant * copies;
+    truth.min_events = exact;
+    truth.max_events = exact;
+    truth.max_distinct_timestamps = static_cast<std::size_t>(instants);
+    truth.facts["instants"] = static_cast<double>(instants);
+    truth.facts["copies"] = static_cast<double>(copies);
+    truth.invariants.push_back(
+        {"exactly_instants_distinct_timestamps",
+         [instants](const LinkStream& stream) {
+             if (stream.num_distinct_timestamps() != instants) {
+                 return "stream has " + std::to_string(stream.num_distinct_timestamps()) +
+                        " distinct timestamps, expected " + std::to_string(instants);
+             }
+             return std::string();
+         }});
+    truth.invariants.push_back(
+        {"every_triple_multiplicity_divisible_by_copies",
+         [copies](const LinkStream& stream) {
+             std::map<std::tuple<NodeId, NodeId, Time>, std::uint64_t> mult;
+             for (const auto& e : stream.events()) ++mult[{e.u, e.v, e.t}];
+             for (const auto& [triple, count] : mult) {
+                 if (count % copies != 0) {
+                     return "triple multiplicity " + std::to_string(count) +
+                            " is not a multiple of copies=" + std::to_string(copies);
+                 }
+             }
+             return std::string();
+         }});
+    truth.notes = "duplicate storm on a few shared instants";
+    return out;
+}
+
+// --- int64_edge -------------------------------------------------------------
+//
+// Timestamps hug both rims of a near-int64 period of study: half the events
+// in [0, width), half in [T - width, T) with T defaulting to 2^62.  Any
+// signed overflow in window arithmetic (t / delta, t + delta, T - delta)
+// trips UBSan here.  Sweeps over this model must use a geometric grid of
+// large deltas — a unit delta would imply ~4e18 windows.
+
+GeneratedStream make_int64_edge(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 10));
+    const std::uint64_t num_events = reader.get_count("events", 120);
+    const Time width = reader.get_time("width", 2'048);
+    const Time period_end = reader.get_time("T", Time{1} << 62);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(num_events >= 2, "events", std::to_string(num_events), ">= 2");
+    ParamReader::require(width >= 1, "width", std::to_string(width), ">= 1");
+    ParamReader::require(period_end >= 2 * width, "T", std::to_string(period_end),
+                         ">= 2 * width");
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const auto [u, v] = random_pair(rng, n);
+        const Time offset = rng.uniform_int(0, width - 1);
+        const Time t = (i % 2 == 0) ? offset : period_end - width + offset;
+        events.push_back({u, v, t});
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = num_events;
+    truth.max_events = num_events;
+    truth.facts["width"] = static_cast<double>(width);
+    truth.invariants.push_back(
+        {"every_event_hugs_a_rim", [width, period_end](const LinkStream& stream) {
+             for (const auto& e : stream.events()) {
+                 if (e.t >= width && e.t < period_end - width) {
+                     return "event at t=" + std::to_string(e.t) +
+                            " is in the empty interior (width=" + std::to_string(width) + ")";
+                 }
+             }
+             return std::string();
+         }});
+    truth.notes = "timestamps at both rims of a near-int64 period";
+    return out;
+}
+
+// --- empty ------------------------------------------------------------------
+
+GeneratedStream make_empty(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 8));
+    const Time period_end = reader.get_time("T", 1'000);
+    ParamReader::require(n >= 1, "n", std::to_string(n), ">= 1");
+    ParamReader::require(period_end >= 1, "T", std::to_string(period_end), ">= 1");
+
+    GeneratedStream out{LinkStream({}, n, period_end, /*directed=*/false), {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = 0;
+    truth.max_events = 0;
+    truth.max_distinct_timestamps = 0;
+    truth.notes = "no events at all; every window is empty";
+    return out;
+}
+
+// --- single_instant ---------------------------------------------------------
+
+GeneratedStream make_single_instant(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 10));
+    const Time period_end = reader.get_time("T", 1'000);
+    const std::uint64_t num_events = reader.get_count("events", 50);
+    const Time at = reader.get_time("at", period_end / 2);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(period_end >= 1, "T", std::to_string(period_end), ">= 1");
+    ParamReader::require(num_events >= 1, "events", std::to_string(num_events), ">= 1");
+    ParamReader::require(at >= 0 && at < period_end, "at", std::to_string(at),
+                         "in [0, T)");
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const auto [u, v] = random_pair(rng, n);
+        events.push_back({u, v, at});
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = num_events;
+    truth.max_events = num_events;
+    truth.max_distinct_timestamps = 1;
+    truth.facts["at"] = static_cast<double>(at);
+    truth.invariants.push_back({"all_events_share_one_instant", [at](const LinkStream& stream) {
+                                    for (const auto& e : stream.events()) {
+                                        if (e.t != at) {
+                                            return "event at t=" + std::to_string(e.t) +
+                                                   ", expected all at t=" + std::to_string(at);
+                                        }
+                                    }
+                                    return std::string();
+                                }});
+    truth.notes = "entire history collapsed onto a single instant";
+    return out;
+}
+
+}  // namespace
+
+void register_adversarial_models(GeneratorRegistry& registry) {
+    registry.add({"dup_heavy",
+                  ModelKind::adversarial,
+                  "duplicate storm: a few shared instants, every triple repeated "
+                  "`copies` times",
+                  {{"n", "12", "node count (>= 2)"},
+                   {"T", "1000", "period of study (> instants)"},
+                   {"instants", "4", "number of distinct timestamps (>= 1)"},
+                   {"pairs_per_instant", "20", "random pairs per instant (>= 1)"},
+                   {"copies", "4", "exact duplicates per picked pair (>= 1)"}},
+                  make_dup_heavy});
+    registry.add({"int64_edge",
+                  ModelKind::adversarial,
+                  "timestamps at both rims of a near-int64 period (T defaults to "
+                  "2^62); sweeps must use coarse geometric grids",
+                  {{"n", "10", "node count (>= 2)"},
+                   {"events", "120", "exact event count (>= 2, split across rims)"},
+                   {"width", "2048", "rim width in ticks (>= 1)"},
+                   {"T", "4611686018427387904", "period of study (>= 2 * width)"}},
+                  make_int64_edge});
+    registry.add({"empty",
+                  ModelKind::adversarial,
+                  "no events at all (the natbin writer and saturation search "
+                  "reject this shape; loaders must fail loudly, not crash)",
+                  {{"n", "8", "node count (>= 1)"},
+                   {"T", "1000", "period of study (>= 1)"}},
+                  make_empty});
+    registry.add({"single_instant",
+                  ModelKind::adversarial,
+                  "every event on one instant: occupancy is flat in delta",
+                  {{"n", "10", "node count (>= 2)"},
+                   {"T", "1000", "period of study (>= 1)"},
+                   {"events", "50", "exact event count (>= 1)"},
+                   {"at", "T/2", "the shared instant in [0, T)"}},
+                  make_single_instant});
+}
+
+}  // namespace natscale::gen

@@ -1,0 +1,437 @@
+// Temporal-dynamics model family: stream shapes that stress the occupancy
+// method in ways the paper's uniform/two-mode workloads do not — heavy-tailed
+// inter-contact gaps ("bursty"), day-night rhythm ("periodic"), a growing
+// node population ("growing") and a community merge with a structural break
+// ("merge_split").  Each model's GroundTruth carries exact structural
+// invariants (gap floors, silent phases, birth times, the merge barrier) so
+// the corpus harness can prove the generated stream has the advertised
+// dynamics, not merely the advertised size.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gen/models.hpp"
+#include "gen/registry.hpp"
+#include "util/rng.hpp"
+
+namespace natscale::gen {
+
+namespace {
+
+void require_budget(const std::string& model, double events) {
+    if (!(events <= 1e9)) {
+        throw gen_error("spec '" + model + "' would generate ~" +
+                        std::to_string(static_cast<std::uint64_t>(events)) +
+                        " events (cap 1000000000)");
+    }
+}
+
+// --- bursty -----------------------------------------------------------------
+//
+// Per-pair renewal process with Pareto(alpha) inter-contact gaps floored at
+// `min_gap`: gap = max(min_gap, min_gap * u^(-1/alpha)).  alpha in (1, 2]
+// gives finite mean but very heavy tails — long silences punctuated by
+// trains, the burstiness signature of human communication.
+
+GeneratedStream make_bursty(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 20));
+    const Time period_end = reader.get_time("T", 20'000);
+    const double alpha = reader.get_double("alpha", 1.5);
+    const Time min_gap = reader.get_time("min_gap", 8);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(alpha > 1.0 && alpha <= 4.0, "alpha", std::to_string(alpha),
+                         "in (1, 4]");
+    ParamReader::require(min_gap >= 1, "min_gap", std::to_string(min_gap), ">= 1");
+    ParamReader::require(period_end > 8 * min_gap, "T", std::to_string(period_end),
+                         "> 8 * min_gap");
+    const double pairs = static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0;
+    // Pareto mean gap = min_gap * alpha / (alpha - 1).
+    const double mean_gap =
+        static_cast<double>(min_gap) * alpha / (alpha - 1.0);
+    require_budget(spec.model, pairs * static_cast<double>(period_end) / mean_gap);
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            Time t = rng.uniform_int(0, 4 * min_gap);
+            while (t < period_end) {
+                events.push_back({u, v, t});
+                const double uniform = std::max(rng.uniform01(), 1e-12);
+                const double pareto =
+                    static_cast<double>(min_gap) * std::pow(uniform, -1.0 / alpha);
+                const Time gap = std::max(
+                    min_gap,
+                    static_cast<Time>(std::min(pareto, 2.0 * static_cast<double>(period_end))));
+                t += gap;
+            }
+        }
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    // Every pair starts at t <= 4 * min_gap < T, so emits at least one event.
+    truth.min_events = static_cast<std::uint64_t>(pairs);
+    truth.facts["alpha"] = alpha;
+    truth.facts["min_gap"] = static_cast<double>(min_gap);
+    truth.invariants.push_back(
+        {"per_pair_gaps_respect_floor", [min_gap](const LinkStream& stream) {
+             std::map<std::pair<NodeId, NodeId>, Time> last;
+             for (const auto& e : stream.events()) {
+                 auto [it, fresh] = last.try_emplace({e.u, e.v}, e.t);
+                 if (!fresh) {
+                     if (e.t - it->second < min_gap) {
+                         return "pair (" + std::to_string(e.u) + "," + std::to_string(e.v) +
+                                ") has gap " + std::to_string(e.t - it->second) +
+                                " < floor " + std::to_string(min_gap);
+                     }
+                     it->second = e.t;
+                 }
+             }
+             return std::string();
+         }});
+    truth.invariants.push_back(
+        {"gaps_are_bursty", [min_gap](const LinkStream& stream) {
+             // Goh-Barabasi burstiness B = (sigma - mu) / (sigma + mu) over
+             // all per-pair inter-contact gaps; B = 0 for Poisson, -> 1 for
+             // extreme trains.  The Pareto tail keeps B well above 0.1 for
+             // any realistic sample size, so a pinned-seed assertion is safe.
+             std::map<std::pair<NodeId, NodeId>, Time> last;
+             std::vector<double> gaps;
+             for (const auto& e : stream.events()) {
+                 auto [it, fresh] = last.try_emplace({e.u, e.v}, e.t);
+                 if (!fresh) {
+                     gaps.push_back(static_cast<double>(e.t - it->second));
+                     it->second = e.t;
+                 }
+             }
+             if (gaps.size() < 16) return std::string();  // too few gaps to judge
+             const double mu =
+                 std::accumulate(gaps.begin(), gaps.end(), 0.0) / static_cast<double>(gaps.size());
+             double var = 0.0;
+             for (double g : gaps) var += (g - mu) * (g - mu);
+             var /= static_cast<double>(gaps.size());
+             const double sigma = std::sqrt(var);
+             const double burstiness = (sigma - mu) / (sigma + mu);
+             if (burstiness < 0.1) {
+                 return "burstiness " + std::to_string(burstiness) +
+                        " < 0.1 — gaps look Poissonian, not heavy-tailed";
+             }
+             return std::string();
+         }});
+    truth.notes = "heavy-tailed per-pair renewal process (Pareto gaps)";
+    return out;
+}
+
+// --- periodic ---------------------------------------------------------------
+//
+// Day-night rhythm: cycles of length `period`, the first duty * period ticks
+// are the active phase (Poisson(events_high) events, uniform pairs and
+// times), the rest the quiet phase (Poisson(events_low)).  events_low = 0
+// yields provably silent nights — the exact invariant below.
+
+GeneratedStream make_periodic(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 20));
+    const Time period_end = reader.get_time("T", 40'000);
+    const Time period = reader.get_time("period", 5'000);
+    const double duty = reader.get_double("duty", 0.5);
+    const double events_high = reader.get_double("events_high", 60);
+    const double events_low = reader.get_double("events_low", 0);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(period >= 2, "period", std::to_string(period), ">= 2");
+    ParamReader::require(period_end >= period, "T", std::to_string(period_end),
+                         ">= period");
+    ParamReader::require(duty > 0.0 && duty <= 1.0, "duty", std::to_string(duty),
+                         "in (0, 1]");
+    ParamReader::require(events_high >= 0.0, "events_high", std::to_string(events_high),
+                         ">= 0");
+    ParamReader::require(events_low >= 0.0, "events_low", std::to_string(events_low),
+                         ">= 0");
+    const double cycles =
+        static_cast<double>(period_end) / static_cast<double>(period);
+    require_budget(spec.model, cycles * (events_high + events_low));
+
+    const Time high_len = static_cast<Time>(
+        std::llround(duty * static_cast<double>(period)));
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    auto emit_phase = [&](Time begin, Time length, double mean) {
+        if (length <= 0 || mean <= 0.0) return;
+        const std::int64_t count = rng.poisson(mean);
+        for (std::int64_t i = 0; i < count; ++i) {
+            const Time t = begin + rng.uniform_int(0, length - 1);
+            const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+            NodeId v;
+            do {
+                v = static_cast<NodeId>(rng.uniform_index(n));
+            } while (v == u);
+            events.push_back({u, v, t});
+        }
+    };
+    for (Time begin = 0; begin + period <= period_end; begin += period) {
+        emit_phase(begin, high_len, events_high);
+        emit_phase(begin + high_len, period - high_len, events_low);
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = 0;  // Poisson can draw 0 everywhere
+    truth.facts["period"] = static_cast<double>(period);
+    truth.facts["duty"] = duty;
+    if (events_low == 0.0 && high_len < period) {
+        truth.invariants.push_back(
+            {"nights_are_silent", [period, high_len](const LinkStream& stream) {
+                 for (const auto& e : stream.events()) {
+                     if (e.t % period >= high_len) {
+                         return "event at t=" + std::to_string(e.t) +
+                                " falls in a quiet phase (t mod " + std::to_string(period) +
+                                " = " + std::to_string(e.t % period) + " >= " +
+                                std::to_string(high_len) + ")";
+                     }
+                 }
+                 return std::string();
+             }});
+    }
+    truth.notes = "day-night rhythm with duty-cycled Poisson activity";
+    return out;
+}
+
+// --- growing ----------------------------------------------------------------
+//
+// Node population grows over time: node i is born at i * T / n (the first
+// two at t = 0 so a pair always exists), and an event at time t only links
+// nodes already born.  Stresses Definition 1's fixed node universe: late
+// nodes are isolated in early windows.
+
+GeneratedStream make_growing(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 30));
+    const Time period_end = reader.get_time("T", 30'000);
+    const std::uint64_t num_events = reader.get_count("events", 1'500);
+    ParamReader::require(n >= 2, "n", std::to_string(n), ">= 2");
+    ParamReader::require(period_end >= static_cast<Time>(n), "T",
+                         std::to_string(period_end), ">= n");
+    ParamReader::require(num_events >= 1, "events", std::to_string(num_events), ">= 1");
+    require_budget(spec.model, static_cast<double>(num_events));
+
+    std::vector<Time> births(n);
+    for (NodeId i = 0; i < n; ++i) {
+        births[i] = i < 2 ? 0
+                          : static_cast<Time>(i) * period_end / static_cast<Time>(n);
+    }
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const Time t = rng.uniform_int(0, period_end - 1);
+        // Number of nodes born by t; births is sorted, births[0..1] = 0.
+        const auto born = static_cast<std::size_t>(
+            std::upper_bound(births.begin(), births.end(), t) - births.begin());
+        const NodeId u = static_cast<NodeId>(rng.uniform_index(born));
+        NodeId v;
+        do {
+            v = static_cast<NodeId>(rng.uniform_index(born));
+        } while (v == u);
+        events.push_back({u, v, t});
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = num_events;
+    truth.max_events = num_events;
+    truth.facts["final_population"] = static_cast<double>(n);
+    truth.invariants.push_back(
+        {"no_event_before_either_birth", [births](const LinkStream& stream) {
+             for (const auto& e : stream.events()) {
+                 if (e.t < births[e.u] || e.t < births[e.v]) {
+                     return "event (" + std::to_string(e.u) + "," + std::to_string(e.v) +
+                            ") at t=" + std::to_string(e.t) + " precedes a birth time";
+                 }
+             }
+             return std::string();
+         }});
+    truth.notes = "linearly growing node population; late nodes silent early";
+    return out;
+}
+
+// --- merge_split ------------------------------------------------------------
+//
+// Two communities (u < n/2 vs u >= n/2) that never interact before
+// t_merge = merge_frac * T and mix with probability cross_prob after it.
+// The merge barrier is exact: reachability across communities is impossible
+// in any window entirely before t_merge, which gives the sweep a structural
+// break to detect.
+
+GeneratedStream make_merge_split(const GenSpec& spec) {
+    const ParamReader reader(spec);
+    const NodeId n = static_cast<NodeId>(reader.get_count("n", 24));
+    const Time period_end = reader.get_time("T", 20'000);
+    const std::uint64_t num_events = reader.get_count("events", 1'200);
+    const double merge_frac = reader.get_double("merge_frac", 0.5);
+    const double cross_prob = reader.get_double("cross_prob", 0.3);
+    ParamReader::require(n >= 4, "n", std::to_string(n), ">= 4");
+    ParamReader::require(period_end >= 2, "T", std::to_string(period_end), ">= 2");
+    ParamReader::require(num_events >= 1, "events", std::to_string(num_events), ">= 1");
+    ParamReader::require(merge_frac >= 0.0 && merge_frac <= 1.0, "merge_frac",
+                         std::to_string(merge_frac), "in [0, 1]");
+    ParamReader::require(cross_prob >= 0.0 && cross_prob <= 1.0, "cross_prob",
+                         std::to_string(cross_prob), "in [0, 1]");
+    require_budget(spec.model, static_cast<double>(num_events));
+
+    const NodeId half = n / 2;
+    const Time t_merge = static_cast<Time>(
+        std::llround(merge_frac * static_cast<double>(period_end)));
+
+    Rng rng(spec.seed);
+    std::vector<Event> events;
+    events.reserve(num_events);
+    std::uint64_t cross_events = 0;
+    auto pick_in = [&](NodeId lo, NodeId hi) {  // distinct pair in [lo, hi)
+        const NodeId u = lo + static_cast<NodeId>(rng.uniform_index(hi - lo));
+        NodeId v;
+        do {
+            v = lo + static_cast<NodeId>(rng.uniform_index(hi - lo));
+        } while (v == u);
+        return std::pair<NodeId, NodeId>{u, v};
+    };
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        const Time t = rng.uniform_int(0, period_end - 1);
+        NodeId u, v;
+        if (t >= t_merge && rng.bernoulli(cross_prob)) {
+            u = static_cast<NodeId>(rng.uniform_index(half));
+            v = half + static_cast<NodeId>(rng.uniform_index(n - half));
+            ++cross_events;
+        } else if (rng.bernoulli(0.5)) {
+            std::tie(u, v) = pick_in(0, half);
+        } else {
+            std::tie(u, v) = pick_in(half, n);
+        }
+        events.push_back({u, v, t});
+    }
+
+    GeneratedStream out{LinkStream(std::move(events), n, period_end, /*directed=*/false),
+                        {}};
+    GroundTruth& truth = out.truth;
+    truth.num_nodes = n;
+    truth.period_end = period_end;
+    truth.directed = false;
+    truth.min_events = num_events;
+    truth.max_events = num_events;
+    truth.facts["t_merge"] = static_cast<double>(t_merge);
+    truth.facts["cross_events"] = static_cast<double>(cross_events);
+    truth.invariants.push_back(
+        {"no_cross_community_event_before_merge",
+         [half, t_merge](const LinkStream& stream) {
+             for (const auto& e : stream.events()) {
+                 const bool cross = (e.u < half) != (e.v < half);
+                 if (cross && e.t < t_merge) {
+                     return "cross-community event (" + std::to_string(e.u) + "," +
+                            std::to_string(e.v) + ") at t=" + std::to_string(e.t) +
+                            " < t_merge=" + std::to_string(t_merge);
+                 }
+             }
+             return std::string();
+         }});
+    const std::uint64_t expected_cross = cross_events;
+    truth.invariants.push_back(
+        {"cross_event_count_matches_fact",
+         [half, expected_cross](const LinkStream& stream) {
+             std::uint64_t count = 0;
+             for (const auto& e : stream.events()) {
+                 if ((e.u < half) != (e.v < half)) ++count;
+             }
+             if (count != expected_cross) {
+                 return "recounted " + std::to_string(count) +
+                        " cross-community events, fact says " + std::to_string(expected_cross);
+             }
+             return std::string();
+         }});
+    truth.invariants.push_back(
+        {"premerge_components_stay_within_communities",
+         [half, t_merge](const LinkStream& stream) {
+             // Independent check via union-find over the pre-merge slice.
+             std::vector<NodeId> parent(stream.num_nodes());
+             for (NodeId i = 0; i < stream.num_nodes(); ++i) parent[i] = i;
+             std::function<NodeId(NodeId)> find = [&](NodeId x) {
+                 while (parent[x] != x) x = parent[x] = parent[parent[x]];
+                 return x;
+             };
+             for (const auto& e : stream.events()) {
+                 if (e.t >= t_merge) break;  // events are time-sorted
+                 parent[find(e.u)] = find(e.v);
+             }
+             for (NodeId a = 0; a < half; ++a) {
+                 for (NodeId b = half; b < stream.num_nodes(); ++b) {
+                     if (find(a) == find(b)) {
+                         return "pre-merge component spans communities (" +
+                                std::to_string(a) + " ~ " + std::to_string(b) + ")";
+                     }
+                 }
+             }
+             return std::string();
+         }});
+    truth.notes = "two isolated communities merging at t_merge";
+    return out;
+}
+
+}  // namespace
+
+void register_dynamics_models(GeneratorRegistry& registry) {
+    registry.add({"bursty",
+                  ModelKind::dynamics,
+                  "heavy-tailed per-pair renewal process: Pareto(alpha) inter-contact "
+                  "gaps floored at min_gap",
+                  {{"n", "20", "node count (>= 2)"},
+                   {"T", "20000", "period of study (> 8 * min_gap)"},
+                   {"alpha", "1.5", "Pareto tail exponent in (1, 4]"},
+                   {"min_gap", "8", "minimum inter-contact gap per pair (>= 1)"}},
+                  make_bursty});
+    registry.add({"periodic",
+                  ModelKind::dynamics,
+                  "day-night rhythm: duty-cycled Poisson activity per cycle",
+                  {{"n", "20", "node count (>= 2)"},
+                   {"T", "40000", "period of study (>= period)"},
+                   {"period", "5000", "cycle length (>= 2)"},
+                   {"duty", "0.5", "active share of each cycle in (0, 1]"},
+                   {"events_high", "60", "mean events per active phase (Poisson)"},
+                   {"events_low", "0", "mean events per quiet phase (0 = silent nights)"}},
+                  make_periodic});
+    registry.add({"growing",
+                  ModelKind::dynamics,
+                  "linearly growing node population: node i born at i * T / n",
+                  {{"n", "30", "final node count (>= 2)"},
+                   {"T", "30000", "period of study (>= n)"},
+                   {"events", "1500", "exact event count (>= 1)"}},
+                  make_growing});
+    registry.add({"merge_split",
+                  ModelKind::dynamics,
+                  "two communities isolated before t_merge = merge_frac * T, mixing "
+                  "with cross_prob after",
+                  {{"n", "24", "node count (>= 4); communities are u < n/2 vs rest"},
+                   {"T", "20000", "period of study (>= 2)"},
+                   {"events", "1200", "exact event count (>= 1)"},
+                   {"merge_frac", "0.5", "merge time as a fraction of T in [0, 1]"},
+                   {"cross_prob", "0.3", "post-merge cross-community probability [0, 1]"}},
+                  make_merge_split});
+}
+
+}  // namespace natscale::gen

@@ -1,0 +1,121 @@
+#include "gen/registry.hpp"
+
+#include <stdexcept>
+
+#include "gen/models.hpp"
+
+namespace natscale::gen {
+
+const char* to_string(ModelKind kind) noexcept {
+    switch (kind) {
+        case ModelKind::paper: return "paper";
+        case ModelKind::dynamics: return "dynamics";
+        case ModelKind::adversarial: return "adversarial";
+    }
+    return "?";
+}
+
+void GeneratorRegistry::add(GeneratorModel model) {
+    if (find(model.name) != nullptr) {
+        throw gen_error("duplicate generator model '" + model.name + "'");
+    }
+    model.params.push_back({"seed", "7", "RNG seed; same (spec, seed) = same stream"});
+    models_.push_back(std::move(model));
+}
+
+const GeneratorModel* GeneratorRegistry::find(const std::string& name) const noexcept {
+    for (const auto& model : models_) {
+        if (model.name == name) return &model;
+    }
+    return nullptr;
+}
+
+GeneratedStream GeneratorRegistry::generate(const GenSpec& spec) const {
+    const GeneratorModel* model = find(spec.model);
+    if (model == nullptr) {
+        std::string known;
+        for (const auto& m : models_) {
+            if (!known.empty()) known += ", ";
+            known += m.name;
+        }
+        throw gen_error("unknown generator model '" + spec.model + "' (known: " + known +
+                        ")");
+    }
+    for (const auto& [key, value] : spec.params) {
+        bool declared = false;
+        for (const auto& doc : model->params) declared = declared || doc.name == key;
+        if (!declared) {
+            std::string known;
+            for (const auto& doc : model->params) {
+                if (!known.empty()) known += ", ";
+                known += doc.name;
+            }
+            throw gen_error("unknown param '" + key + "' for model '" + model->name +
+                            "' (known: " + known + ")");
+        }
+    }
+
+    GeneratedStream generated = model->generate(spec);
+    GroundTruth& truth = generated.truth;
+    truth.model = model->name;
+    truth.spec = to_string(spec);
+    truth.num_events = generated.stream.num_events();
+
+    // A model whose report contradicts its own stream is broken, whatever
+    // the spec said: fail here, not in some later consumer.
+    if (truth.num_nodes != generated.stream.num_nodes() ||
+        truth.period_end != generated.stream.period_end() ||
+        truth.directed != generated.stream.directed()) {
+        throw std::logic_error("generator model '" + model->name +
+                               "' produced a stream contradicting its GroundTruth");
+    }
+    return generated;
+}
+
+const GeneratorRegistry& generator_registry() {
+    static const GeneratorRegistry registry = [] {
+        GeneratorRegistry r;
+        register_paper_models(r);
+        register_dynamics_models(r);
+        register_adversarial_models(r);
+        return r;
+    }();
+    return registry;
+}
+
+GeneratedStream generate_stream(const GenSpec& spec) {
+    return generator_registry().generate(spec);
+}
+
+GeneratedStream generate_stream(const std::string& spec_text) {
+    return generate_stream(parse_gen_spec(spec_text));
+}
+
+GeneratedStream generate_stream(const std::string& spec_text, std::uint64_t seed) {
+    GenSpec spec = parse_gen_spec(spec_text);
+    spec.seed = seed;
+    return generate_stream(spec);
+}
+
+std::vector<GenSpec> default_corpus() {
+    // One small, seconds-fast spec per model.  Seeds are pinned so even the
+    // statistical invariants (burstiness, rate ordering) are deterministic.
+    const char* specs[] = {
+        "uniform:n=16,links=3,T=2000",
+        "two_mode:n=12,alternations=4,links_high=6,links_low=1,T=4000,low_share=0.25",
+        "replica:dataset=enron,scale=0.08",
+        "bursty:n=12,T=4000,alpha=1.5,min_gap=8",
+        "periodic:n=14,T=8000,period=2000,duty=0.5,events_high=50,events_low=0",
+        "growing:n=16,T=5000,events=600",
+        "merge_split:n=16,T=6000,events=700,merge_frac=0.5,cross_prob=0.3",
+        "dup_heavy:n=10,T=1000,instants=4,pairs_per_instant=20,copies=4",
+        "int64_edge:n=10,events=120,width=2048",
+        "empty:n=8,T=1000",
+        "single_instant:n=10,T=1000,events=60",
+    };
+    std::vector<GenSpec> corpus;
+    for (const char* text : specs) corpus.push_back(parse_gen_spec(text));
+    return corpus;
+}
+
+}  // namespace natscale::gen

@@ -1,0 +1,91 @@
+// GeneratorRegistry: the factory behind every synthetic workload.
+//
+// A GenSpec resolves here to a GeneratedStream — the LinkStream plus its
+// GroundTruth report.  Models self-describe (kind, summary, parameter docs
+// with defaults), which powers `find_time_scale gen --list`, the generated
+// documentation table, and strict parameter validation: a spec naming a
+// parameter the model does not declare is an error, not a silent default.
+//
+// The built-in catalogue:
+//   paper        uniform, two_mode, replica       (Sections 5 and 6)
+//   dynamics     bursty, periodic, growing, merge_split
+//   adversarial  dup_heavy, int64_edge, empty, single_instant
+//
+// Every model is deterministic for a fixed (spec, seed), and every spec in
+// default_corpus() doubles as a differential-test workload for all
+// reachability backends and the online engine (tests/test_gen_corpus.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/ground_truth.hpp"
+#include "gen/spec.hpp"
+#include "linkstream/link_stream.hpp"
+
+namespace natscale::gen {
+
+struct ParamDoc {
+    std::string name;
+    std::string default_value;  // human-readable ("T/2" allowed)
+    std::string help;
+};
+
+enum class ModelKind { paper, dynamics, adversarial };
+
+const char* to_string(ModelKind kind) noexcept;
+
+struct GeneratedStream {
+    LinkStream stream;
+    GroundTruth truth;
+};
+
+struct GeneratorModel {
+    std::string name;
+    ModelKind kind = ModelKind::paper;
+    std::string summary;
+    std::vector<ParamDoc> params;  // `seed` is appended automatically
+    std::function<GeneratedStream(const GenSpec&)> generate;
+};
+
+class GeneratorRegistry {
+public:
+    /// Registers a model.  Throws gen_error on duplicate names.  A `seed`
+    /// ParamDoc is appended so every model documents its determinism knob.
+    void add(GeneratorModel model);
+
+    const GeneratorModel* find(const std::string& name) const noexcept;
+
+    /// All models, in registration order (paper, dynamics, adversarial).
+    const std::vector<GeneratorModel>& models() const noexcept { return models_; }
+
+    /// Resolves a spec: unknown models and undeclared params throw
+    /// gen_error; the model's stream and report are cross-checked (a model
+    /// whose GroundTruth disagrees with its own stream is a logic error).
+    GeneratedStream generate(const GenSpec& spec) const;
+
+private:
+    std::vector<GeneratorModel> models_;
+};
+
+/// The global registry with all built-in models registered.
+const GeneratorRegistry& generator_registry();
+
+/// generator_registry().generate(spec).
+GeneratedStream generate_stream(const GenSpec& spec);
+
+/// Convenience: parse_gen_spec + generate_stream.
+GeneratedStream generate_stream(const std::string& spec_text);
+
+/// parse_gen_spec + seed override + generate: the consumer one-liner for
+/// sweeping seeds over a fixed spec ("same spec text, N runs").
+GeneratedStream generate_stream(const std::string& spec_text, std::uint64_t seed);
+
+/// The curated corpus: at least one small, fast spec per registered model
+/// (coverage is asserted in tests/test_gen_corpus.cpp).  These are the
+/// workloads of the corpus-wide property harness and the CI adversarial
+/// job.
+std::vector<GenSpec> default_corpus();
+
+}  // namespace natscale::gen

@@ -79,7 +79,7 @@ std::vector<ReplicaSpec> all_replica_specs() {
     return {irvine_spec(), facebook_spec(), enron_spec(), manufacturing_spec()};
 }
 
-LinkStream generate_replica(const ReplicaSpec& spec, std::uint64_t seed) {
+LinkStream detail::replica_impl(const ReplicaSpec& spec, std::uint64_t seed) {
     NATSCALE_EXPECTS(spec.num_nodes >= 2);
     NATSCALE_EXPECTS(spec.num_events >= 1);
     NATSCALE_EXPECTS(spec.period_end >= 2);
@@ -138,5 +138,17 @@ LinkStream generate_replica(const ReplicaSpec& spec, std::uint64_t seed) {
     }
     return LinkStream(std::move(events), n, spec.period_end, spec.directed);
 }
+
+// Deprecated shim; kept one PR for out-of-tree callers and bisect builds.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+LinkStream generate_replica(const ReplicaSpec& spec, std::uint64_t seed) {
+    return detail::replica_impl(spec, seed);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace natscale

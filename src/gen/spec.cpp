@@ -1,0 +1,149 @@
+#include "gen/spec.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace natscale::gen {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const std::string& expected) {
+    throw gen_error("invalid value '" + value + "' for param '" + key + "' (expected " +
+                    expected + ")");
+}
+
+bool parse_u64(const std::string& value, std::uint64_t& out) {
+    if (value.empty() || value[0] == '-' || value[0] == '+') return false;
+    const char* first = value.data();
+    const char* last = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool parse_i64(const std::string& value, std::int64_t& out) {
+    if (value.empty()) return false;
+    const char* first = value.data();
+    const char* last = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool parse_f64(const std::string& value, double& out) {
+    if (value.empty()) return false;
+    const char* first = value.data();
+    const char* last = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+GenSpec parse_gen_spec(const std::string& text) {
+    GenSpec spec;
+    const std::size_t colon = text.find(':');
+    spec.model = text.substr(0, colon);
+    if (spec.model.empty()) throw gen_error("empty model name in spec '" + text + "'");
+    if (colon == std::string::npos) return spec;
+
+    std::size_t pos = colon + 1;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos) comma = text.size();
+        const std::string pair = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty()) {
+            throw gen_error("empty param in spec '" + text + "' (expected key=value)");
+        }
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw gen_error("malformed param '" + pair + "' in spec '" + text +
+                            "' (expected key=value)");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "seed") {
+            if (!parse_u64(value, spec.seed)) {
+                bad_value("seed", value, "a non-negative integer");
+            }
+            continue;
+        }
+        if (!spec.params.emplace(key, value).second) {
+            throw gen_error("duplicate param '" + key + "' in spec '" + text + "'");
+        }
+        if (comma == text.size()) break;
+    }
+    return spec;
+}
+
+std::string to_string(const GenSpec& spec) {
+    std::string out = spec.model;
+    out += ':';
+    for (const auto& [key, value] : spec.params) {
+        out += key;
+        out += '=';
+        out += value;
+        out += ',';
+    }
+    out += "seed=" + std::to_string(spec.seed);
+    return out;
+}
+
+bool ParamReader::has(const std::string& key) const {
+    return spec_.params.find(key) != spec_.params.end();
+}
+
+std::uint64_t ParamReader::get_count(const std::string& key, std::uint64_t def) const {
+    const auto it = spec_.params.find(key);
+    if (it == spec_.params.end()) return def;
+    std::uint64_t out = 0;
+    if (!parse_u64(it->second, out)) bad_value(key, it->second, "a non-negative integer");
+    return out;
+}
+
+std::int64_t ParamReader::get_int(const std::string& key, std::int64_t def) const {
+    const auto it = spec_.params.find(key);
+    if (it == spec_.params.end()) return def;
+    std::int64_t out = 0;
+    if (!parse_i64(it->second, out)) bad_value(key, it->second, "an integer");
+    return out;
+}
+
+Time ParamReader::get_time(const std::string& key, Time def) const {
+    return get_int(key, def);
+}
+
+double ParamReader::get_double(const std::string& key, double def) const {
+    const auto it = spec_.params.find(key);
+    if (it == spec_.params.end()) return def;
+    double out = 0.0;
+    if (!parse_f64(it->second, out)) bad_value(key, it->second, "a number");
+    return out;
+}
+
+std::string ParamReader::get_string(const std::string& key, const std::string& def) const {
+    const auto it = spec_.params.find(key);
+    return it == spec_.params.end() ? def : it->second;
+}
+
+std::string ParamReader::get_choice(const std::string& key, const std::string& def,
+                                    std::initializer_list<const char*> choices) const {
+    const std::string value = get_string(key, def);
+    std::string expected;
+    for (const char* choice : choices) {
+        if (value == choice) return value;
+        if (!expected.empty()) expected += '|';
+        expected += choice;
+    }
+    bad_value(key, value, expected);
+}
+
+void ParamReader::require(bool condition, const std::string& key, const std::string& got,
+                          const std::string& expected) {
+    if (!condition) {
+        throw gen_error("param '" + key + "' out of range: " + got + " (expected " +
+                        expected + ")");
+    }
+}
+
+}  // namespace natscale::gen

@@ -1,0 +1,87 @@
+// GenSpec: the one way to name a synthetic workload.
+//
+// A spec is (model name, typed parameter map, seed); it resolves through
+// the GeneratorRegistry (gen/registry.hpp) to a LinkStream plus a
+// GroundTruth report whose invariants hold by construction.  Specs have a
+// compact textual form shared by the CLI (`find_time_scale gen`), the
+// benches and the test corpus:
+//
+//   model                      all defaults
+//   model:key=value,key=value  comma-separated params
+//   model:n=40,links=5,seed=3  `seed` is a reserved key feeding GenSpec::seed
+//
+// Parameter values are typed at the point of use via ParamReader, whose
+// errors name both the value and the parameter ("invalid value 'x' for
+// param 'rate' (expected a number)") so the message survives verbatim to
+// the CLI exit path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace natscale::gen {
+
+/// Thrown on malformed specs, unknown models/params and bad values.  The
+/// what() string is user-facing: the CLI prints it verbatim and exits 2.
+class gen_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct GenSpec {
+    std::string model;
+    /// Raw key=value parameters (ordered, so the canonical echo is stable).
+    /// `seed` never appears here — it is hoisted into the field below.
+    std::map<std::string, std::string> params;
+    std::uint64_t seed = 7;
+};
+
+/// Parses the compact form above.  Throws gen_error on empty model names,
+/// malformed pairs (no '='), duplicate keys and junk seeds.
+GenSpec parse_gen_spec(const std::string& text);
+
+/// Canonical echo: "model:k=v,...,seed=N" (params in sorted order, seed
+/// last, always present).  parse_gen_spec(to_string(s)) == s.
+std::string to_string(const GenSpec& spec);
+
+/// Typed access to GenSpec::params with hardened error messages.  Every
+/// getter takes the default used when the key is absent; models validate
+/// ranges themselves (and throw gen_error naming the param).
+class ParamReader {
+public:
+    explicit ParamReader(const GenSpec& spec) : spec_(spec) {}
+
+    bool has(const std::string& key) const;
+
+    /// "invalid value 'x' for param 'k' (expected a non-negative integer)"
+    std::uint64_t get_count(const std::string& key, std::uint64_t def) const;
+
+    /// "invalid value 'x' for param 'k' (expected an integer)"
+    std::int64_t get_int(const std::string& key, std::int64_t def) const;
+
+    /// Time in ticks; same grammar as get_int.
+    Time get_time(const std::string& key, Time def) const;
+
+    /// "invalid value 'x' for param 'k' (expected a number)"
+    double get_double(const std::string& key, double def) const;
+
+    std::string get_string(const std::string& key, const std::string& def) const;
+
+    /// Value must be one of `choices` ("a|b|c" in the error message).
+    std::string get_choice(const std::string& key, const std::string& def,
+                           std::initializer_list<const char*> choices) const;
+
+    /// Range guard with a param-naming message:
+    /// "param 'n' out of range: 1 (expected >= 2)".
+    static void require(bool condition, const std::string& key, const std::string& got,
+                        const std::string& expected);
+
+private:
+    const GenSpec& spec_;
+};
+
+}  // namespace natscale::gen

@@ -33,7 +33,16 @@ struct TwoModeSpec {
     double low_activity_share = 0.5;    // rho = T2 / (T1 + T2), in [0, 1]
 };
 
+namespace detail {
+/// Shared implementation: the registry's "two_mode" model and the
+/// deprecated entry point below both call this, so the factory reproduces
+/// the legacy streams bit for bit.
+LinkStream two_mode_stream_impl(const TwoModeSpec& spec, std::uint64_t seed);
+}  // namespace detail
+
 /// Deterministic for a fixed (spec, seed).  Undirected.
+[[deprecated("use gen::generate_stream(\"two_mode:n=...,low_share=...\") — "
+             "see gen/registry.hpp")]]
 LinkStream generate_two_mode_stream(const TwoModeSpec& spec, std::uint64_t seed);
 
 }  // namespace natscale

@@ -5,7 +5,7 @@
 
 namespace natscale {
 
-LinkStream generate_uniform_stream(const UniformStreamSpec& spec, std::uint64_t seed) {
+LinkStream detail::uniform_stream_impl(const UniformStreamSpec& spec, std::uint64_t seed) {
     NATSCALE_EXPECTS(spec.num_nodes >= 2);
     NATSCALE_EXPECTS(spec.period_end >= 1);
     NATSCALE_EXPECTS(spec.links_per_pair >= 1);
@@ -24,6 +24,19 @@ LinkStream generate_uniform_stream(const UniformStreamSpec& spec, std::uint64_t 
     }
     return LinkStream(std::move(events), spec.num_nodes, spec.period_end, /*directed=*/false);
 }
+
+// Deprecated shim: one call into the shared implementation.  Kept for one
+// PR so out-of-tree callers and git-bisect builds stay green.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+LinkStream generate_uniform_stream(const UniformStreamSpec& spec, std::uint64_t seed) {
+    return detail::uniform_stream_impl(spec, seed);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 double uniform_mean_intercontact(const UniformStreamSpec& spec) {
     return static_cast<double>(spec.period_end) /

@@ -18,8 +18,9 @@ constexpr WindowIndex window_of(Time t, Time delta) {
 }
 
 /// K = ceil(T / delta): number of windows covering [0, T).
+/// Overflow-safe for period_end near INT64_MAX: (T + delta - 1) would wrap.
 constexpr WindowIndex num_windows(Time period_end, Time delta) {
-    return (period_end + delta - 1) / delta;
+    return period_end / delta + (period_end % delta != 0 ? 1 : 0);
 }
 
 /// Aggregates `stream` with period `delta` (in ticks).

@@ -1,0 +1,177 @@
+#include "linkstream/csv_adapter.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace natscale {
+
+namespace {
+
+constexpr std::size_t kMaxFields = 8;
+
+/// Lenient split: runs of spaces/tabs/commas separate fields (the built-in
+/// loader's behaviour).
+std::size_t split_lenient(const std::string& line, std::string_view out[kMaxFields]) {
+    std::size_t count = 0;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto is_sep = [](char c) { return c == ' ' || c == '\t' || c == ',' || c == '\r'; };
+    while (i < n && count < kMaxFields) {
+        while (i < n && is_sep(line[i])) ++i;
+        if (i >= n) break;
+        const std::size_t start = i;
+        while (i < n && !is_sep(line[i])) ++i;
+        out[count++] = std::string_view(line).substr(start, i - start);
+    }
+    return count;
+}
+
+/// Strict split on one delimiter: every occurrence ends a field, so empty
+/// fields are visible (and rejected by the caller).
+std::size_t split_strict(const std::string& line, char delimiter,
+                         std::string_view out[kMaxFields]) {
+    std::string_view rest(line);
+    if (!rest.empty() && rest.back() == '\r') rest.remove_suffix(1);
+    std::size_t count = 0;
+    while (count < kMaxFields) {
+        const std::size_t pos = rest.find(delimiter);
+        out[count++] = rest.substr(0, pos);
+        if (pos == std::string_view::npos) break;
+        rest.remove_prefix(pos + 1);
+    }
+    return count;
+}
+
+bool parse_csv_time(std::string_view field, double scale, Time& out) {
+    double value = 0.0;
+    const char* first = field.data();
+    const char* last = field.data() + field.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return false;
+    const double scaled = value * scale;
+    if (!(scaled >= 0.0) || scaled > 9.0e18) return false;
+    out = static_cast<Time>(std::llround(scaled));
+    return true;
+}
+
+struct ColumnRoles {
+    std::size_t u = 0, v = 0, t = 0;
+    std::size_t width = 0;  // minimum fields a row must carry
+};
+
+ColumnRoles resolve_columns(const std::string& columns, const std::string& origin) {
+    validate_csv_columns(columns, origin);
+    ColumnRoles roles;
+    roles.width = columns.size();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == 'u') roles.u = i;
+        if (columns[i] == 'v') roles.v = i;
+        if (columns[i] == 't') roles.t = i;
+    }
+    return roles;
+}
+
+LoadedStream parse_csv(std::istream& is, const CsvFormat& format,
+                       const std::string& origin) {
+    const ColumnRoles roles = resolve_columns(format.columns, origin);
+
+    std::string line;
+    std::size_t line_number = 0;
+
+    std::vector<Event> events;
+    std::vector<std::string> labels;
+    std::unordered_map<std::string, NodeId> ids;
+    auto intern = [&](std::string_view label) {
+        auto [it, inserted] =
+            ids.try_emplace(std::string(label), static_cast<NodeId>(labels.size()));
+        if (inserted) labels.emplace_back(label);
+        return it->second;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line_number <= format.skip_header) continue;
+        std::string_view fields[kMaxFields];
+        std::size_t nf;
+        if (format.delimiter == '\0') {
+            nf = split_lenient(line, fields);
+            if (nf == 0) continue;  // blank
+        } else {
+            nf = split_strict(line, format.delimiter, fields);
+            if (nf == 1 && fields[0].empty()) continue;  // blank
+        }
+        if (!fields[0].empty() && (fields[0].front() == '#' || fields[0].front() == '%')) {
+            continue;  // comment
+        }
+        if (nf < roles.width) {
+            throw io_error(origin, line_number,
+                           "row has " + std::to_string(nf) + " fields, layout '" +
+                               format.columns + "' needs at least " +
+                               std::to_string(roles.width));
+        }
+        for (std::size_t i = 0; i < roles.width; ++i) {
+            if (fields[i].empty()) {
+                throw io_error(origin, line_number,
+                               "empty field " + std::to_string(i + 1));
+            }
+        }
+        Time t = 0;
+        if (!parse_csv_time(fields[roles.t], format.time_scale, t)) {
+            throw io_error(origin, line_number,
+                           "bad timestamp '" + std::string(fields[roles.t]) + "'");
+        }
+        const NodeId u = intern(fields[roles.u]);
+        const NodeId v = intern(fields[roles.v]);
+        if (u == v) {
+            if (format.skip_self_loops) continue;
+            throw io_error(origin, line_number, "self-loop on node '" + labels[u] + "'");
+        }
+        events.push_back({u, v, t});
+    }
+    if (events.empty()) throw std::runtime_error(origin + ": no events");
+
+    Time max_time = 0;
+    for (const auto& e : events) max_time = std::max(max_time, e.t);
+    LinkStream stream(std::move(events), static_cast<NodeId>(labels.size()), max_time + 1,
+                      format.directed);
+    return {std::move(stream), std::move(labels)};
+}
+
+}  // namespace
+
+void validate_csv_columns(const std::string& columns, const std::string& origin) {
+    std::size_t u = 0, v = 0, t = 0;
+    bool junk = false;
+    for (char c : columns) {
+        if (c == 'u') ++u;
+        else if (c == 'v') ++v;
+        else if (c == 't') ++t;
+        else if (c != '_') junk = true;
+    }
+    if (junk || u != 1 || v != 1 || t != 1 || columns.size() > kMaxFields) {
+        throw io_error(origin,
+                       "bad column layout '" + columns +
+                           "' (expected a string over u, v, t, _ with exactly one of "
+                           "each of u, v, t; e.g. uvt, tuv, uv_t)");
+    }
+}
+
+LoadedStream parse_csv_stream(const std::string& text, const CsvFormat& format,
+                              const std::string& origin) {
+    std::istringstream is(text);
+    return parse_csv(is, format, origin);
+}
+
+LoadedStream load_csv_stream(const std::string& path, const CsvFormat& format) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open '" + path + "'");
+    return parse_csv(file, format, path);
+}
+
+}  // namespace natscale

@@ -1,0 +1,64 @@
+// Real-trace CSV/TSV adapter.
+//
+// Published temporal-network datasets agree on "one event per line" and on
+// nothing else: SNAP and KONECT order columns `u v t`, the sociopatterns
+// releases `t i j`, delimiters range over tabs, commas and runs of spaces,
+// timestamps come in seconds or milliseconds, and files open with anything
+// from '#' comments to a bare header row.  CsvFormat captures exactly those
+// degrees of freedom so one loader covers the conventions; the result feeds
+// the same LoadedStream pipeline (and the `convert` path to .natbin) as the
+// built-in text loader.
+//
+// Malformed rows throw io_error with the path, 1-based line number and a
+// named reason — the CLI surfaces the message verbatim and exits 2.
+#pragma once
+
+#include <string>
+
+#include "linkstream/io.hpp"
+
+namespace natscale {
+
+struct CsvFormat {
+    /// Column layout: a string over {u, v, t, _} with exactly one 'u', one
+    /// 'v' and one 't'; '_' skips a column (e.g. weights).  Rows may carry
+    /// extra trailing columns beyond the layout; they are ignored.
+    ///   "uvt"  — SNAP / KONECT edge lists        (u v t)
+    ///   "tuv"  — sociopatterns contact lists     (t i j)
+    ///   "uv_t" — timestamp after a weight column (u v w t)
+    std::string columns = "uvt";
+
+    /// Field delimiter; '\0' (the default) splits on any run of spaces,
+    /// tabs or commas, matching the lenient built-in loader.  An explicit
+    /// delimiter (e.g. ',' or '\t') splits strictly: every separator ends a
+    /// field and empty fields are an error.
+    char delimiter = '\0';
+
+    /// Multiplies timestamps before truncation to integer ticks: 1e-3 loads
+    /// millisecond files at second resolution, 1000 preserves millisecond
+    /// fractions of second-resolution files.
+    double time_scale = 1.0;
+
+    /// Unconditionally skipped lines at the top (header rows).  Comment
+    /// lines ('#' or '%') are skipped everywhere regardless.
+    std::size_t skip_header = 0;
+
+    bool directed = false;
+    bool skip_self_loops = true;
+};
+
+/// Parses `columns` into per-field roles.  Throws io_error (line 0) on a
+/// layout that is not a permutation of u, v, t plus optional '_' skips.
+void validate_csv_columns(const std::string& columns, const std::string& origin);
+
+/// Loads the file at `path` under `format`, streaming line by line.  Node
+/// labels are interned to dense ids in order of first appearance (returned
+/// in LoadedStream::node_labels).  Throws io_error on malformed rows and
+/// std::runtime_error if the file cannot be opened or holds no events.
+LoadedStream load_csv_stream(const std::string& path, const CsvFormat& format = {});
+
+/// Same grammar from a string; `origin` names the source in errors.
+LoadedStream parse_csv_stream(const std::string& text, const CsvFormat& format = {},
+                              const std::string& origin = "<string>");
+
+}  // namespace natscale

@@ -13,8 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "gen/two_mode_stream.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/binary_io.hpp"
 #include "linkstream/io.hpp"
 #include "testing/temp_files.hpp"
@@ -67,16 +66,11 @@ LinkStream random_burst_stream(std::uint64_t seed) {
 /// The three generated scenarios of the round-trip property test.
 std::vector<std::pair<std::string, LinkStream>> scenarios(std::uint64_t seed) {
     std::vector<std::pair<std::string, LinkStream>> result;
-    UniformStreamSpec uniform;
-    uniform.num_nodes = 24;
-    uniform.links_per_pair = 4;
-    uniform.period_end = 40'000;
-    result.emplace_back("uniform", generate_uniform_stream(uniform, seed));
-    TwoModeSpec two_mode;
-    two_mode.num_nodes = 20;
-    two_mode.alternations = 6;
-    two_mode.period_end = 30'000;
-    result.emplace_back("two_mode", generate_two_mode_stream(two_mode, seed + 1));
+    result.emplace_back(
+        "uniform", gen::generate_stream("uniform:n=24,links=4,T=40000", seed).stream);
+    result.emplace_back(
+        "two_mode",
+        gen::generate_stream("two_mode:n=20,alternations=6,T=30000", seed + 1).stream);
     result.emplace_back("burst", random_burst_stream(seed + 2));
     return result;
 }

@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/classical_properties.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/aggregation.hpp"
 
 namespace natscale {
@@ -31,12 +31,8 @@ TEST(Classical, HandComputedSnapshotMeans) {
 TEST(Classical, FullAggregationReachesStaticGraphValues) {
     // At Delta = T the series is one snapshot: density equals the density of
     // the totally aggregated graph, d_hops = 1, d_time = 1 window.
-    UniformStreamSpec spec;
-    spec.num_nodes = 12;
-    spec.links_per_pair = 2;
-    spec.period_end = 1'000;
-    const auto stream = generate_uniform_stream(spec, 3);
-    const auto point = classical_properties(stream, spec.period_end, true);
+    const auto stream = gen::generate_stream("uniform:n=12,links=2,T=1000", 3).stream;
+    const auto point = classical_properties(stream, stream.period_end(), true);
     EXPECT_DOUBLE_EQ(point.mean_density_nonempty, 1.0);  // all pairs linked
     EXPECT_DOUBLE_EQ(point.mean_largest_cc, 12.0);
     EXPECT_DOUBLE_EQ(point.mean_non_isolated, 12.0);
@@ -49,11 +45,7 @@ TEST(Classical, DensityGrowsMonotonicallyWithDelta) {
     // Coarser aggregation merges events: per-snapshot density cannot shrink
     // on a uniform stream (statistically; exact monotonicity of the mean
     // over non-empty windows holds for nested windows).
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 6;
-    spec.period_end = 10'000;
-    const auto stream = generate_uniform_stream(spec, 9);
+    const auto stream = gen::generate_stream("uniform:n=10,links=6,T=10000", 9).stream;
     const auto curve = classical_curve(stream, {1, 10, 100, 1'000, 10'000}, false);
     for (std::size_t i = 1; i < curve.size(); ++i) {
         EXPECT_GE(curve[i].mean_density_nonempty, curve[i - 1].mean_density_nonempty);
@@ -63,11 +55,7 @@ TEST(Classical, DensityGrowsMonotonicallyWithDelta) {
 
 TEST(Classical, DistancesDriftMonotonically) {
     // Fig. 2 bottom-right: d_abstime grows with Delta while d_hops shrinks.
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 6;
-    spec.period_end = 10'000;
-    const auto stream = generate_uniform_stream(spec, 13);
+    const auto stream = gen::generate_stream("uniform:n=10,links=6,T=10000", 13).stream;
     const auto curve = classical_curve(stream, {10, 100, 1'000, 10'000}, true);
     EXPECT_GT(curve.front().mean_dhops, curve.back().mean_dhops);
     EXPECT_LT(curve.front().mean_dabstime_ticks, curve.back().mean_dabstime_ticks);

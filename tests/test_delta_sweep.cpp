@@ -9,7 +9,7 @@
 #include "core/delta_grid.hpp"
 #include "core/delta_sweep.hpp"
 #include "core/saturation.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/aggregation.hpp"
 #include "util/rng.hpp"
 
@@ -17,11 +17,7 @@ namespace natscale {
 namespace {
 
 LinkStream seeded_stream(std::uint64_t seed) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 24;
-    spec.links_per_pair = 4;
-    spec.period_end = 20'000;
-    return generate_uniform_stream(spec, seed);
+    return gen::generate_stream("uniform:n=24,links=4,T=20000", seed).stream;
 }
 
 LinkStream seeded_directed_stream(std::uint64_t seed) {

@@ -69,5 +69,54 @@ TEST(ExampleCliDeath, AutomaticFormatOnlyWhereAllowed) {
                 "'auto' for option '--to' \\(expected text\\|natbin\\)");
 }
 
+TEST(ExampleCliParsers, ParseDoubleAcceptsNumbers) {
+    EXPECT_DOUBLE_EQ(parse_double("--time-scale=0.001", "--time-scale="), 0.001);
+    EXPECT_DOUBLE_EQ(parse_double("--time-scale=1e3", "--time-scale="), 1000.0);
+}
+
+TEST(ExampleCliDeath, JunkDoubleNamesTheFlag) {
+    EXPECT_EXIT(parse_double("--time-scale=fast", "--time-scale="),
+                ::testing::ExitedWithCode(2),
+                "'fast' for option '--time-scale' \\(expected a number\\)");
+    EXPECT_EXIT(parse_double("--time-scale=1.5x", "--time-scale="),
+                ::testing::ExitedWithCode(2), "'1.5x' for option '--time-scale'");
+}
+
+TEST(ExampleCliParsers, ParseKeyValueSplitsOnFirstEquals) {
+    const auto [key, value] = parse_key_value("--param=n=40", "--param=");
+    EXPECT_EQ(key, "n");
+    EXPECT_EQ(value, "40");
+    // The value may itself contain '=': only the first one splits.
+    const auto [key2, value2] = parse_key_value("--param=note=a=b", "--param=");
+    EXPECT_EQ(key2, "note");
+    EXPECT_EQ(value2, "a=b");
+    // Empty values are passed through; the registry validates them.
+    const auto [key3, value3] = parse_key_value("--param=n=", "--param=");
+    EXPECT_EQ(key3, "n");
+    EXPECT_EQ(value3, "");
+}
+
+TEST(ExampleCliDeath, KeyValueWithoutEqualsOrKeyNamesTheFlag) {
+    EXPECT_EXIT(parse_key_value("--param=n40", "--param="),
+                ::testing::ExitedWithCode(2),
+                "'n40' for option '--param' \\(expected key=value\\)");
+    EXPECT_EXIT(parse_key_value("--param==40", "--param="),
+                ::testing::ExitedWithCode(2), "'=40' for option '--param'");
+}
+
+TEST(ExampleCliParsers, ParseDelimiterNamesAndLiterals) {
+    EXPECT_EQ(parse_delimiter("--delimiter=tab", "--delimiter="), '\t');
+    EXPECT_EQ(parse_delimiter("--delimiter=space", "--delimiter="), ' ');
+    EXPECT_EQ(parse_delimiter("--delimiter=comma", "--delimiter="), ',');
+    EXPECT_EQ(parse_delimiter("--delimiter=;", "--delimiter="), ';');
+}
+
+TEST(ExampleCliDeath, MultiCharDelimiterNamesTheFlag) {
+    EXPECT_EXIT(parse_delimiter("--delimiter=||", "--delimiter="),
+                ::testing::ExitedWithCode(2),
+                "for option '--delimiter' \\(expected a single character or "
+                "tab\\|space\\|comma\\)");
+}
+
 }  // namespace
 }  // namespace natscale::examples

@@ -4,15 +4,14 @@
 
 #include <filesystem>
 #include <sstream>
+#include <string>
 
 #include "core/classical_properties.hpp"
 #include "core/occupancy.hpp"
 #include "core/report.hpp"
 #include "core/saturation.hpp"
 #include "core/validation.hpp"
-#include "gen/replicas.hpp"
-#include "gen/two_mode_stream.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/rng.hpp"
@@ -32,8 +31,8 @@ SaturationOptions quick_options() {
 TEST(Integration, ReplicaPipelineEndToEnd) {
     // A downscaled Enron replica through the whole pipeline: stats, gamma,
     // classical properties at gamma, and validation around gamma.
-    const auto spec = enron_spec().scaled(0.25);
-    const auto stream = generate_replica(spec, 2025);
+    const auto stream =
+        gen::generate_stream("replica:dataset=enron,scale=0.25", 2025).stream;
 
     const auto stats = compute_stream_stats(stream);
     EXPECT_GT(stats.events_per_node_per_day, 0.0);
@@ -61,21 +60,18 @@ TEST(Integration, ReplicaPipelineEndToEnd) {
 TEST(Integration, TwoModeGammaBetweenPureModes) {
     // Fig. 6 right's anchor property: the mixed network's gamma lies between
     // the pure high-activity and pure low-activity gammas.
-    TwoModeSpec spec;
-    spec.num_nodes = 20;
-    spec.alternations = 5;
-    spec.links_high = 6;
-    spec.links_low = 2;
-    spec.period_end = 50'000;
-
-    auto gamma_at = [&](double share) {
-        TwoModeSpec s = spec;
-        s.low_activity_share = share;
-        return find_saturation_scale(generate_two_mode_stream(s, 31), quick_options()).gamma;
+    auto gamma_at = [&](const char* share) {
+        const auto stream =
+            gen::generate_stream(std::string("two_mode:n=20,alternations=5,links_high=6,"
+                                             "links_low=2,T=50000,low_share=") +
+                                     share,
+                                 31)
+                .stream;
+        return find_saturation_scale(stream, quick_options()).gamma;
     };
-    const Time gamma_high = gamma_at(0.0);
-    const Time gamma_mixed = gamma_at(0.5);
-    const Time gamma_low = gamma_at(1.0);
+    const Time gamma_high = gamma_at("0.0");
+    const Time gamma_mixed = gamma_at("0.5");
+    const Time gamma_low = gamma_at("1.0");
 
     EXPECT_LT(gamma_high, gamma_low);
     EXPECT_LE(gamma_high / 2, gamma_mixed);   // generous brackets: grid noise
@@ -84,11 +80,7 @@ TEST(Integration, TwoModeGammaBetweenPureModes) {
 
 TEST(Integration, SaveAnalyzeReloadedStream) {
     // gamma must be invariant under an I/O round trip.
-    UniformStreamSpec spec;
-    spec.num_nodes = 15;
-    spec.links_per_pair = 6;
-    spec.period_end = 8'000;
-    const auto stream = generate_uniform_stream(spec, 77);
+    const auto stream = gen::generate_stream("uniform:n=15,links=6,T=8000", 77).stream;
 
     const auto dir = std::filesystem::temp_directory_path();
     const auto path = (dir / "natscale_integration_roundtrip.txt").string();
@@ -102,11 +94,7 @@ TEST(Integration, SaveAnalyzeReloadedStream) {
 }
 
 TEST(Integration, ReportsRenderWithoutThrowing) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 4;
-    spec.period_end = 2'000;
-    const auto stream = generate_uniform_stream(spec, 5);
+    const auto stream = gen::generate_stream("uniform:n=10,links=4,T=2000", 5).stream;
     const auto result = find_saturation_scale(stream, quick_options());
 
     std::ostringstream os;
@@ -139,12 +127,11 @@ TEST(Integration, DirectedAndUndirectedViewsDiffer) {
 TEST(Integration, GammaRobustToSeedChange) {
     // Statistical stability: two seeds of the same workload give gammas
     // within a factor ~2 (same grid, same distribution family).
-    UniformStreamSpec spec;
-    spec.num_nodes = 16;
-    spec.links_per_pair = 8;
-    spec.period_end = 20'000;
-    const Time g1 = find_saturation_scale(generate_uniform_stream(spec, 1), quick_options()).gamma;
-    const Time g2 = find_saturation_scale(generate_uniform_stream(spec, 2), quick_options()).gamma;
+    const char* spec = "uniform:n=16,links=8,T=20000";
+    const Time g1 =
+        find_saturation_scale(gen::generate_stream(spec, 1).stream, quick_options()).gamma;
+    const Time g2 =
+        find_saturation_scale(gen::generate_stream(spec, 2).stream, quick_options()).gamma;
     EXPECT_LT(std::max(g1, g2), 2 * std::min(g1, g2) + 2);
 }
 

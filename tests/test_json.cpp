@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/export.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "util/contracts.hpp"
 #include "util/json.hpp"
@@ -70,11 +70,7 @@ TEST(JsonWriter, MisuseThrows) {
 }
 
 TEST(Export, SaturationResultRoundTripsKeyFields) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 5;
-    spec.period_end = 2'000;
-    const auto stream = generate_uniform_stream(spec, 5);
+    const auto stream = gen::generate_stream("uniform:n=10,links=5,T=2000", 5).stream;
     SaturationOptions options;
     options.coarse_points = 12;
     options.refine_rounds = 0;

@@ -13,8 +13,7 @@
 
 #include "core/occupancy.hpp"
 #include "core/saturation.hpp"
-#include "gen/two_mode_stream.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "linkstream/aggregation.hpp"
 #include "linkstream/binary_io.hpp"
 #include "testing/temp_files.hpp"
@@ -47,16 +46,11 @@ LinkStream burst_scenario(std::uint64_t seed) {
 
 std::vector<std::pair<std::string, LinkStream>> scenarios() {
     std::vector<std::pair<std::string, LinkStream>> result;
-    UniformStreamSpec uniform;
-    uniform.num_nodes = 25;
-    uniform.links_per_pair = 3;
-    uniform.period_end = 30'000;
-    result.emplace_back("uniform", generate_uniform_stream(uniform, 11));
-    TwoModeSpec two_mode;
-    two_mode.num_nodes = 22;
-    two_mode.alternations = 5;
-    two_mode.period_end = 24'000;
-    result.emplace_back("two_mode", generate_two_mode_stream(two_mode, 22));
+    result.emplace_back(
+        "uniform", gen::generate_stream("uniform:n=25,links=3,T=30000", 11).stream);
+    result.emplace_back(
+        "two_mode",
+        gen::generate_stream("two_mode:n=22,alternations=5,T=24000", 22).stream);
     result.emplace_back("burst", burst_scenario(33));
     return result;
 }

@@ -5,7 +5,7 @@
 
 #include "core/delta_grid.hpp"
 #include "core/saturation.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "util/rng.hpp"
 #include "util/contracts.hpp"
 
@@ -74,16 +74,13 @@ TEST(DeltaGrid, RefinementRoundGridsSatisfyMergePreconditions) {
     }
     // And the searches themselves run their refinement rounds without
     // tripping the new contracts (exercised on a real stream).
-    UniformStreamSpec spec;
-    spec.num_nodes = 12;
-    spec.links_per_pair = 6;
-    spec.period_end = 10'000;
     SaturationOptions options;
     options.coarse_points = 24;
     options.refine_rounds = 3;
     options.refine_points = 6;
     options.histogram_bins = 400;
-    EXPECT_NO_THROW(find_saturation_scale(generate_uniform_stream(spec, 9), options));
+    const auto stream = gen::generate_stream("uniform:n=12,links=6,T=10000", 9).stream;
+    EXPECT_NO_THROW(find_saturation_scale(stream, options));
 }
 
 TEST(DeltaGrid, RejectsBadArguments) {
@@ -102,22 +99,20 @@ SaturationOptions quick_options() {
 }
 
 TEST(Saturation, FindsInteriorMaximumOnUniformStream) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 20;
-    spec.links_per_pair = 10;
-    spec.period_end = 20'000;
-    const auto stream = generate_uniform_stream(spec, /*seed=*/7);
+    constexpr Time period_end = 20'000;
+    const auto stream =
+        gen::generate_stream("uniform:n=20,links=10,T=20000", /*seed=*/7).stream;
     const auto result = find_saturation_scale(stream, quick_options());
 
     EXPECT_GT(result.gamma, 1);
-    EXPECT_LT(result.gamma, spec.period_end);
+    EXPECT_LT(result.gamma, period_end);
     // Curve sorted, covering the full range.
     EXPECT_TRUE(std::is_sorted(result.curve.begin(), result.curve.end(),
                                [](const DeltaPoint& a, const DeltaPoint& b) {
                                    return a.delta < b.delta;
                                }));
     EXPECT_EQ(result.curve.front().delta, 1);
-    EXPECT_EQ(result.curve.back().delta, spec.period_end);
+    EXPECT_EQ(result.curve.back().delta, period_end);
     // gamma realizes the maximum of the selected metric over the curve.
     for (const auto& point : result.curve) {
         EXPECT_LE(score_of(point.scores, result.metric),
@@ -130,18 +125,13 @@ TEST(Saturation, FindsInteriorMaximumOnUniformStream) {
 TEST(Saturation, GammaScalesWithIntercontactTime) {
     // Fig. 6 left: for time-uniform networks gamma is proportional to the
     // mean inter-contact time; doubling it should roughly double gamma.
-    UniformStreamSpec sparse;
-    sparse.num_nodes = 16;
-    sparse.links_per_pair = 5;
-    sparse.period_end = 30'000;
+    const auto sparse =
+        gen::generate_stream("uniform:n=16,links=5,T=30000", 11).stream;
+    // 4x the activity -> gamma ~4x smaller
+    const auto dense = gen::generate_stream("uniform:n=16,links=20,T=30000", 11).stream;
 
-    UniformStreamSpec dense = sparse;
-    dense.links_per_pair = 20;  // 4x the activity -> gamma ~4x smaller
-
-    const auto gamma_sparse =
-        find_saturation_scale(generate_uniform_stream(sparse, 11), quick_options()).gamma;
-    const auto gamma_dense =
-        find_saturation_scale(generate_uniform_stream(dense, 11), quick_options()).gamma;
+    const auto gamma_sparse = find_saturation_scale(sparse, quick_options()).gamma;
+    const auto gamma_dense = find_saturation_scale(dense, quick_options()).gamma;
 
     EXPECT_GT(gamma_sparse, gamma_dense);
     const double ratio = static_cast<double>(gamma_sparse) / static_cast<double>(gamma_dense);
@@ -150,12 +140,8 @@ TEST(Saturation, GammaScalesWithIntercontactTime) {
 }
 
 TEST(Saturation, MetricCurveRisesThenFalls) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 16;
-    spec.links_per_pair = 8;
-    spec.period_end = 20'000;
-    const auto result =
-        find_saturation_scale(generate_uniform_stream(spec, 3), quick_options());
+    const auto stream = gen::generate_stream("uniform:n=16,links=8,T=20000", 3).stream;
+    const auto result = find_saturation_scale(stream, quick_options());
     const double at_ends = std::max(score_of(result.curve.front().scores, result.metric),
                                     score_of(result.curve.back().scores, result.metric));
     EXPECT_GT(score_of(result.at_gamma.scores, result.metric), at_ends);
@@ -209,24 +195,17 @@ TEST(Saturation, VariationCoefficientPrefersTinyDeltas) {
 }
 
 TEST(Saturation, ExplicitRangeHonoured) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 5;
-    spec.period_end = 5'000;
     auto options = quick_options();
     options.min_delta = 10;
     options.max_delta = 1'000;
-    const auto result = find_saturation_scale(generate_uniform_stream(spec, 1), options);
+    const auto stream = gen::generate_stream("uniform:n=10,links=5,T=5000", 1).stream;
+    const auto result = find_saturation_scale(stream, options);
     EXPECT_GE(result.curve.front().delta, 10);
     EXPECT_LE(result.curve.back().delta, 1'000);
 }
 
 TEST(Saturation, RefinementOnlyAddsPoints) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 10;
-    spec.links_per_pair = 5;
-    spec.period_end = 5'000;
-    const auto stream = generate_uniform_stream(spec, 2);
+    const auto stream = gen::generate_stream("uniform:n=10,links=5,T=5000", 2).stream;
     auto coarse_only = quick_options();
     coarse_only.refine_rounds = 0;
     auto refined = quick_options();
@@ -241,11 +220,7 @@ TEST(Saturation, RejectsEmptyStreamAndBadOptions) {
     LinkStream empty({}, 3, 100);
     EXPECT_THROW(find_saturation_scale(empty, quick_options()), contract_error);
 
-    UniformStreamSpec spec;
-    spec.num_nodes = 5;
-    spec.links_per_pair = 2;
-    spec.period_end = 100;
-    const auto stream = generate_uniform_stream(spec, 1);
+    const auto stream = gen::generate_stream("uniform:n=5,links=2,T=100", 1).stream;
     SaturationOptions bad;
     bad.coarse_points = 1;
     EXPECT_THROW(find_saturation_scale(stream, bad), contract_error);

@@ -3,19 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "core/segmentation.hpp"
-#include "gen/two_mode_stream.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace natscale {
 namespace {
 
 TEST(Segmentation, HomogeneousStreamIsOneRegime) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 15;
-    spec.links_per_pair = 10;
-    spec.period_end = 10'000;
-    const auto stream = generate_uniform_stream(spec, 3);
+    const auto stream = gen::generate_stream("uniform:n=15,links=10,T=10000", 3).stream;
     const auto segments = segment_by_activity(stream);
     ASSERT_EQ(segments.size(), 1u);
     EXPECT_TRUE(segments.front().high_activity);
@@ -24,14 +19,11 @@ TEST(Segmentation, HomogeneousStreamIsOneRegime) {
 }
 
 TEST(Segmentation, TwoModeStreamSplitsIntoAlternations) {
-    TwoModeSpec spec;
-    spec.num_nodes = 20;
-    spec.alternations = 5;
-    spec.links_high = 20;
-    spec.links_low = 1;
-    spec.period_end = 50'000;
-    spec.low_activity_share = 0.5;
-    const auto stream = generate_two_mode_stream(spec, 11);
+    const auto stream =
+        gen::generate_stream(
+            "two_mode:n=20,alternations=5,links_high=20,links_low=1,T=50000,low_share=0.5",
+            11)
+            .stream;
 
     SegmentationOptions options;
     options.probe_bins = 100;  // 20 bins per cycle
@@ -66,14 +58,12 @@ TEST(Segmentation, TwoModeStreamSplitsIntoAlternations) {
 }
 
 TEST(Segmentation, SegmentBoundariesNearTruth) {
-    TwoModeSpec spec;
-    spec.num_nodes = 20;
-    spec.alternations = 4;
-    spec.links_high = 20;
-    spec.links_low = 1;
-    spec.period_end = 40'000;  // cycle 10'000, switch at 5'000 within cycle
-    spec.low_activity_share = 0.5;
-    const auto stream = generate_two_mode_stream(spec, 7);
+    // cycle 10'000, switch at 5'000 within cycle
+    const auto stream =
+        gen::generate_stream(
+            "two_mode:n=20,alternations=4,links_high=20,links_low=1,T=40000,low_share=0.5",
+            7)
+            .stream;
     SegmentationOptions options;
     options.probe_bins = 200;  // bin width 200 ticks
     const auto segments = segment_by_activity(stream, options);
@@ -113,14 +103,11 @@ TEST(CompactRegime, AbsentRegimeYieldsEmptyStream) {
 TEST(SegmentedSaturation, RecoversPerModeGammas) {
     // The headline property: per-regime gammas approximate the gammas of the
     // pure modes, and the recommendation is the smaller one.
-    TwoModeSpec spec;
-    spec.num_nodes = 25;
-    spec.alternations = 5;
-    spec.links_high = 24;
-    spec.links_low = 2;
-    spec.period_end = 50'000;
-    spec.low_activity_share = 0.5;
-    const auto stream = generate_two_mode_stream(spec, 17);
+    const auto stream =
+        gen::generate_stream(
+            "two_mode:n=25,alternations=5,links_high=24,links_low=2,T=50000,low_share=0.5",
+            17)
+            .stream;
 
     SaturationOptions sat;
     sat.coarse_points = 20;
@@ -137,20 +124,18 @@ TEST(SegmentedSaturation, RecoversPerModeGammas) {
     EXPECT_EQ(result.recommended, result.gamma_high);
 
     // Pure-mode references.
-    TwoModeSpec pure_high = spec;
-    pure_high.low_activity_share = 0.0;
-    const Time gamma_pure_high =
-        find_saturation_scale(generate_two_mode_stream(pure_high, 17), sat).gamma;
+    const auto pure_high =
+        gen::generate_stream(
+            "two_mode:n=25,alternations=5,links_high=24,links_low=2,T=50000,low_share=0.0",
+            17)
+            .stream;
+    const Time gamma_pure_high = find_saturation_scale(pure_high, sat).gamma;
     EXPECT_LT(result.gamma_high, 4 * gamma_pure_high + 4);
     EXPECT_GT(4 * result.gamma_high, gamma_pure_high / 4);
 }
 
 TEST(SegmentedSaturation, HomogeneousFallsBackToGlobalGamma) {
-    UniformStreamSpec spec;
-    spec.num_nodes = 15;
-    spec.links_per_pair = 8;
-    spec.period_end = 10'000;
-    const auto stream = generate_uniform_stream(spec, 5);
+    const auto stream = gen::generate_stream("uniform:n=15,links=8,T=10000", 5).stream;
 
     SaturationOptions sat;
     sat.coarse_points = 20;

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/validation.hpp"
-#include "gen/uniform_stream.hpp"
+#include "gen/registry.hpp"
 #include "util/rng.hpp"
 
 namespace natscale {
@@ -84,11 +84,7 @@ TEST(Elongation, NearOneAtFineAggregation) {
 TEST(Elongation, GrowsAroundSaturation) {
     // The mean elongation factor rises markedly between fine and coarse
     // aggregation.
-    UniformStreamSpec spec;
-    spec.num_nodes = 15;
-    spec.links_per_pair = 5;
-    spec.period_end = 10'000;
-    const auto stream = generate_uniform_stream(spec, 25);
+    const auto stream = gen::generate_stream("uniform:n=15,links=5,T=10000", 25).stream;
     const auto curve = elongation_curve(stream, {2, 2'000});
     ASSERT_EQ(curve.size(), 2u);
     ASSERT_GT(curve[1].measured_trips, 0u);
