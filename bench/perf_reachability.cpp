@@ -13,12 +13,16 @@
 // point ran as counters, so the crossover curve can be plotted straight
 // from the JSON artifact.
 //
-// A second artifact, BENCH_kernel.json, comes from the PackedVsLegacy and
-// ColumnScaling suites (`--benchmark_filter=PackedVsLegacy|ColumnScaling`):
+// A second artifact, BENCH_kernel.json, comes from the PackedVsLegacy,
+// ColumnScaling and ScalarVsSimd suites
+// (`--benchmark_filter=PackedVsLegacy|ColumnScaling|ScalarVsSimd`):
 // the packed 8 B/pair kernel against the retired 12 B scalar kernel on the
-// same workloads, and the intra-scan column-parallel occupancy histogram at
-// 1/2/4/8 scan threads.  CI uploads both from the Release leg — the
-// in-repo perf trajectory of the dense hot path.
+// same workloads, the intra-scan column-parallel occupancy histogram at
+// 1/2/4/8 scan threads, and the same dense/sparse scans under every SIMD
+// dispatch (one row per ISA; rows for ISAs this machine cannot execute run
+// the strongest supported path instead and say so via the supported/fallback
+// counters — see docs/simd.md for how to read them).  CI uploads both from
+// the Release leg — the in-repo perf trajectory of the dense hot path.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -30,6 +34,7 @@
 #include "temporal/reachability_backend.hpp"
 #include "util/proc_rss.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -215,6 +220,72 @@ void BM_PackedVsLegacy_Legacy(benchmark::State& state) {
         static_cast<double>(n) * static_cast<double>(n) * 12.0 / (1024.0 * 1024.0);
 }
 BENCHMARK(BM_PackedVsLegacy_Legacy)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scalar vs SIMD dispatch on the identical scan: one row per ISA, same
+/// workload as PackedVsLegacy at n = 2048, so per-ISA speedup is the ratio
+/// of a row against the scalar row of the same suite.  A row whose ISA the
+/// machine cannot execute still runs — through the strongest supported path
+/// — and records supported=0 fallback=1, so a BENCH_kernel.json from any
+/// machine always carries all rows and never silently compares different
+/// hardware generations.
+void BM_ScalarVsSimd_DenseSeries(benchmark::State& state, SimdIsa isa) {
+    const bool supported = simd_isa_supported(isa);
+    const SimdIsa previous = active_simd_isa();
+    set_simd_isa(supported ? isa : detect_simd_isa());
+    const auto series = crossover_series(2048);
+    TemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["supported"] = supported ? 1.0 : 0.0;
+    state.counters["fallback"] = supported ? 0.0 : 1.0;
+    state.counters["n"] = 2048.0;
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    set_simd_isa(previous);
+}
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_DenseSeries, scalar, SimdIsa::scalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_DenseSeries, avx2, SimdIsa::avx2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_DenseSeries, avx512, SimdIsa::avx512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_DenseSeries, neon, SimdIsa::neon)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sparse-backend counterpart: candidate generation (copy_bump_second_u32)
+/// is the vectorized stage there; n = 4096 keeps the scan in the sparse
+/// regime of the crossover sweep.
+void BM_ScalarVsSimd_SparseSeries(benchmark::State& state, SimdIsa isa) {
+    const bool supported = simd_isa_supported(isa);
+    const SimdIsa previous = active_simd_isa();
+    set_simd_isa(supported ? isa : detect_simd_isa());
+    const auto series = crossover_series(4096);
+    SparseTemporalReachability engine;
+    std::uint64_t trips = 0;
+    for (auto _ : state) {
+        trips = 0;
+        engine.scan_series(series, [&](const MinimalTrip&) { ++trips; });
+        benchmark::DoNotOptimize(trips);
+    }
+    state.counters["supported"] = supported ? 1.0 : 0.0;
+    state.counters["fallback"] = supported ? 0.0 : 1.0;
+    state.counters["n"] = 4096.0;
+    state.counters["M"] = static_cast<double>(series.total_edges());
+    state.counters["trips"] = static_cast<double>(trips);
+    set_simd_isa(previous);
+}
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_SparseSeries, scalar, SimdIsa::scalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_SparseSeries, avx2, SimdIsa::avx2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_SparseSeries, avx512, SimdIsa::avx512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ScalarVsSimd_SparseSeries, neon, SimdIsa::neon)
     ->Unit(benchmark::kMillisecond);
 
 /// Intra-scan thread scaling: the full occupancy histogram of the n = 2048

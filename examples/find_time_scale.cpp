@@ -75,6 +75,7 @@
 #include "online/incremental_sweep.hpp"
 #include "util/format.hpp"
 #include "util/gnuplot.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 using namespace natscale;
@@ -107,7 +108,9 @@ void usage() {
                  "                       [--metric=mk|stddev|shannon|cre] [--threads=N]\n"
                  "                       [--every-events=N] [--every-seconds=S]\n"
                  "                       [--poll-ms=M] [--max-reports=N]\n"
-                 "                       [--checkpoint=PATH]\n");
+                 "                       [--checkpoint=PATH]\n"
+                 "every subcommand also accepts --simd=auto|scalar|avx2|avx512|neon\n"
+                 "(kernel dispatch override; results are bit-identical on every path)\n");
 }
 
 /// Loads `path` honouring a forced format.  natbin goes through the
@@ -493,14 +496,34 @@ int run_watch(int argc, char** argv) {
         }();
 
         // The startup open above already validated every record present, so
-        // the first reopen only checks what was appended since.
-        std::uint64_t validated = tail.complete_records;
+        // the first reopen only checks what was appended since.  The cursor
+        // (count + last validated record) makes a truncate-and-regrow between
+        // polls an error instead of a silent splice of two streams, and the
+        // header fields must keep matching the stream the engine was built
+        // for — a writer restarting the file with different dimensions would
+        // otherwise corrupt the incremental state without a diagnostic.
+        const NodeId initial_nodes = tail.num_nodes;
+        const Time initial_period = tail.period_end;
+        const bool initial_directed = tail.directed;
+        NatbinTailCursor cursor = tail_cursor(tail);
+        std::uint64_t validated = cursor.validated_records;
         std::uint64_t reported_events = 0;
         std::size_t reports = 0;
         Stopwatch since_report;
         for (;;) {
-            tail = open_natbin_tail(path, validated);
-            validated = tail.complete_records;
+            tail = open_natbin_tail(path, cursor);
+            if (tail.num_nodes != initial_nodes || tail.period_end != initial_period ||
+                tail.directed != initial_directed) {
+                throw std::runtime_error(
+                    path + ": header changed mid-watch (was " +
+                    std::to_string(initial_nodes) + " nodes, T=" +
+                    std::to_string(initial_period) + "; now " +
+                    std::to_string(tail.num_nodes) + " nodes, T=" +
+                    std::to_string(tail.period_end) +
+                    ") — the file was replaced by a different stream");
+            }
+            cursor = tail_cursor(tail);
+            validated = cursor.validated_records;
             // Records are appended in (t, u, v) order, so everything before
             // the last timestamp is final; once the writer finished, so is
             // everything else.
@@ -544,6 +567,40 @@ int main(int argc, char** argv) {
     if (argc < 2) {
         usage();
         return 2;
+    }
+    // --simd= applies to every subcommand (it pins the process-global kernel
+    // dispatch before any scan runs), so it is consumed here, ahead of the
+    // per-subcommand parsers.  Results are bit-identical on every path; the
+    // flag exists for benchmarking and for pinning CI legs.
+    {
+        int kept = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--simd=", 0) != 0) {
+                argv[kept++] = argv[i];
+                continue;
+            }
+            const std::string value = arg.substr(7);
+            SimdIsa isa = SimdIsa::scalar;
+            if (value == "auto") {
+                isa = detect_simd_isa();
+            } else if (!parse_simd_isa(value, isa)) {
+                std::fprintf(stderr,
+                             "bad value in '%s' (expected auto|scalar|avx2|avx512|neon)\n",
+                             arg.c_str());
+                return 2;
+            }
+            if (!set_simd_isa(isa)) {
+                std::fprintf(stderr, "--simd=%s is not supported on this CPU (supported:",
+                             value.c_str());
+                for (const SimdIsa s : supported_simd_isas()) {
+                    std::fprintf(stderr, " %s", to_string(s));
+                }
+                std::fprintf(stderr, ")\n");
+                return 2;
+            }
+        }
+        argc = kept;
     }
     if (std::strcmp(argv[1], "convert") == 0) return run_convert(argc, argv);
     if (std::strcmp(argv[1], "gen") == 0) return run_gen(argc, argv);

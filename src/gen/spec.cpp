@@ -47,6 +47,7 @@ GenSpec parse_gen_spec(const std::string& text) {
     if (colon == std::string::npos) return spec;
 
     std::size_t pos = colon + 1;
+    bool seen_seed = false;
     while (pos <= text.size()) {
         std::size_t comma = text.find(',', pos);
         if (comma == std::string::npos) comma = text.size();
@@ -63,6 +64,14 @@ GenSpec parse_gen_spec(const std::string& text) {
         const std::string key = pair.substr(0, eq);
         const std::string value = pair.substr(eq + 1);
         if (key == "seed") {
+            // seed lives in its own struct field, so the params-map duplicate
+            // check below never sees it — reject repeats explicitly or a
+            // second seed= silently overwrites the first (last-one-wins) and
+            // the canonical echo drops a parameter the caller passed.
+            if (seen_seed) {
+                throw gen_error("duplicate param 'seed' in spec '" + text + "'");
+            }
+            seen_seed = true;
             if (!parse_u64(value, spec.seed)) {
                 bad_value("seed", value, "a non-negative integer");
             }

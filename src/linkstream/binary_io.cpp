@@ -370,7 +370,10 @@ LoadedStream open_natbin(const std::string& path) { return load_impl(path, true)
 
 LoadedStream load_natbin(const std::string& path) { return load_impl(path, false); }
 
-NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_prefix) {
+namespace {
+
+NatbinTail open_natbin_tail_impl(const std::string& path, std::uint64_t validated_prefix,
+                                 const Event* expect_boundary) {
     auto file = std::make_shared<const MappedFile>(MappedFile::open(path));
     const NatbinHeader h = parse_header(path, file->data(), file->size(), /*tail=*/true);
 
@@ -407,6 +410,11 @@ NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_pre
     const auto events = tail.events;
     Event prev = validated_prefix > 0 ? events[static_cast<std::size_t>(validated_prefix) - 1]
                                       : Event{0, 0, -1};
+    if (expect_boundary != nullptr && validated_prefix > 0 && prev != *expect_boundary) {
+        throw io_error(path, "record " + std::to_string(validated_prefix - 1) +
+                                 " no longer matches the validated prefix (file truncated "
+                                 "and regrown, or replaced by an unrelated stream)");
+    }
     SequentialScan scan(tail.source);
     for (std::size_t i = static_cast<std::size_t>(validated_prefix); i < events.size(); ++i) {
         const Event e = events[i];
@@ -430,6 +438,25 @@ NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_pre
         scan.consumed(i);
     }
     return tail;
+}
+
+}  // namespace
+
+NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_prefix) {
+    return open_natbin_tail_impl(path, validated_prefix, nullptr);
+}
+
+NatbinTail open_natbin_tail(const std::string& path, const NatbinTailCursor& cursor) {
+    return open_natbin_tail_impl(path, cursor.validated_records,
+                                 cursor.validated_records > 0 ? &cursor.last_validated
+                                                              : nullptr);
+}
+
+NatbinTailCursor tail_cursor(const NatbinTail& tail) {
+    NatbinTailCursor cursor;
+    cursor.validated_records = tail.complete_records;
+    if (!tail.events.empty()) cursor.last_validated = tail.events.back();
+    return cursor;
 }
 
 StreamFormat detect_stream_format(const std::string& path) {

@@ -104,6 +104,16 @@ struct NatbinTail {
     EventSource source;
 };
 
+/// Resume cursor for a polling tail reader: the validated record count plus
+/// the last validated record itself.  Carrying the record (not only the
+/// count) lets the next open detect a file that was truncated and regrown
+/// past its previous size between polls — the count alone would silently
+/// accept the impostor prefix and splice two unrelated streams together.
+struct NatbinTailCursor {
+    std::uint64_t validated_records = 0;
+    Event last_validated{0, 0, -1};  ///< meaningful only when validated_records > 0
+};
+
 /// Opens a natbin file in tail mode.  The header is validated as usual, but
 /// the event-count cross-checks are relaxed: the record region is whatever
 /// the file size says it is, truncated to whole records.  Records
@@ -114,6 +124,19 @@ struct NatbinTail {
 /// malformed header or records, and when the file shrank below
 /// validated_prefix.
 NatbinTail open_natbin_tail(const std::string& path, std::uint64_t validated_prefix = 0);
+
+/// Cursor-checked tail open for polling readers.  Everything the prefix
+/// overload does, plus: when the cursor has a validated prefix, the record at
+/// its boundary must still equal cursor.last_validated — a mismatch means the
+/// file on disk is not a continuation of what was already consumed (truncated
+/// and regrown, or replaced wholesale) and raises io_error instead of
+/// yielding events from an unrelated stream.  Build the next poll's cursor
+/// from the returned tail with tail_cursor().
+NatbinTail open_natbin_tail(const std::string& path, const NatbinTailCursor& cursor);
+
+/// The cursor describing everything `tail` has validated: pass it to the
+/// cursor overload on the next poll.
+NatbinTailCursor tail_cursor(const NatbinTail& tail);
 
 /// Streaming writer for traces too large to materialize as a LinkStream
 /// (format conversion pipelines, the out-of-core scale tests).  Events must

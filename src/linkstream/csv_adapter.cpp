@@ -48,6 +48,32 @@ std::size_t split_strict(const std::string& line, char delimiter,
     return count;
 }
 
+/// getline over all three line-ending conventions: \n, \r\n and the lone \r
+/// of classic-Mac spreadsheet exports.  std::getline splits on \n only, which
+/// turns a \r-delimited file into one giant "line" whose first row is parsed
+/// and the rest silently swallowed as extra fields.  Returns false only at
+/// EOF with nothing read.
+bool read_csv_line(std::istream& is, std::string& line) {
+    using traits = std::char_traits<char>;
+    line.clear();
+    std::streambuf* buf = is.rdbuf();
+    int c = buf->sbumpc();
+    if (traits::eq_int_type(c, traits::eof())) {
+        is.setstate(std::ios::eofbit | std::ios::failbit);
+        return false;
+    }
+    while (!traits::eq_int_type(c, traits::eof())) {
+        if (c == '\n') return true;
+        if (c == '\r') {
+            if (buf->sgetc() == '\n') buf->sbumpc();  // \r\n counts once
+            return true;
+        }
+        line.push_back(traits::to_char_type(c));
+        c = buf->sbumpc();
+    }
+    return true;  // final line without a terminator
+}
+
 bool parse_csv_time(std::string_view field, double scale, Time& out) {
     double value = 0.0;
     const char* first = field.data();
@@ -94,8 +120,13 @@ LoadedStream parse_csv(std::istream& is, const CsvFormat& format,
         return it->second;
     };
 
-    while (std::getline(is, line)) {
+    while (read_csv_line(is, line)) {
         ++line_number;
+        if (line_number == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) {
+            // UTF-8 BOM from Excel/Sheets exports; left in place it would be
+            // interned into the first node label, splitting that node in two.
+            line.erase(0, 3);
+        }
         if (line_number <= format.skip_header) continue;
         std::string_view fields[kMaxFields];
         std::size_t nf;

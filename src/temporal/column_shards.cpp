@@ -8,7 +8,12 @@ NodeId column_shard_width(NodeId n) {
     if (n == 0) return 0;
     const NodeId target = (n + 15) / 16;                 // ~16 shards
     const NodeId rounded = ((target + 63) / 64) * 64;    // multiples of 64 columns
-    return std::clamp<NodeId>(rounded, 64, 1024);
+    // L2 cache blocking: state row + scratch row per modelled active node.
+    const std::size_t active = std::min<std::size_t>(n, kShardActiveRowModel);
+    const std::size_t l2_cap = kShardL2BudgetBytes / (active * 2 * sizeof(std::uint64_t));
+    const NodeId capped = static_cast<NodeId>(
+        std::min<std::size_t>(rounded, (std::max<std::size_t>(l2_cap, 64) / 64) * 64));
+    return std::clamp<NodeId>(capped, 64, 1024);
 }
 
 std::vector<ColumnShard> column_shards(NodeId n) {

@@ -23,9 +23,23 @@ struct ColumnShard {
     NodeId end = 0;    // one past the last destination column
 };
 
-/// Shard width for an n-node scan: aims at 16 shards, rounded up to a
-/// multiple of 64 columns (512 B of packed state — a cache-friendly row
-/// segment), clamped to [64, 1024].  A pure function of n.
+/// Cache-blocking model for the shard width.  During one instant a shard
+/// scan touches, per active node, one state row segment and one scratch row
+/// segment of `width` packed 8-byte cells; dense instants activate hundreds
+/// of rows, so an unbounded width spills the per-instant working set
+/// (~ active x width x 16 B) out of L2 and the SIMD relaxation goes
+/// memory-bound.  The cap below keeps that working set inside a fixed L2
+/// budget under a fixed active-row model — compile-time constants, NOT
+/// runtime cache probing, so the shard plan stays a pure function of n and
+/// every machine computes the identical partition.
+inline constexpr std::size_t kShardL2BudgetBytes = std::size_t{1} << 20;  // 1 MiB
+inline constexpr NodeId kShardActiveRowModel = 512;  // active rows assumed per instant
+
+/// Shard width for an n-node scan: aims at 16 shards, rounded to a multiple
+/// of 64 columns (512 B of packed state — one SIMD-friendly row segment),
+/// clamped to [64, 1024] and capped so the modelled per-instant working set
+/// (min(n, kShardActiveRowModel) active rows x width x 16 B of state +
+/// scratch) fits kShardL2BudgetBytes.  A pure function of n.
 NodeId column_shard_width(NodeId n);
 
 /// The fixed partition of [0, n) into consecutive blocks of

@@ -75,6 +75,7 @@
 #include "temporal/minimal_trip.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/types.hpp"
 
 namespace natscale {
@@ -288,6 +289,14 @@ template <typename Sink>
 void TemporalReachability::process_instant(std::uint32_t rank, Time label, Sink& sink,
                                            const ReachabilityOptions& options) {
     const std::size_t width = col_end_ - col_begin_;
+    // A zero-width shard (col_begin == col_end, legal per the sharding
+    // contract) owns no destination columns: nothing can be relaxed or
+    // emitted, and state_ is empty, so taking row pointers below would be
+    // out of bounds.
+    if (width == 0) return;
+    // The relaxation dispatch, resolved once per instant (the ISA cannot
+    // change mid-scan; see util/simd.hpp).
+    const simd::Ops& vec = simd::ops();
 
     // 1. Assign scratch slots to every node touched at this instant.
     active_.clear();
@@ -331,27 +340,30 @@ void TemporalReachability::process_instant(std::uint32_t rank, Time label, Sink&
             // Continuations u -> w (now) -> ... -> v (later): +1 in the low
             // 32 bits is +1 hop at unchanged arrival, and the unreachable
             // sentinel stays losing, so the whole relaxation is one
-            // branchless min per cell.
+            // branchless min per cell — dispatched to the active SIMD path
+            // (bit-identical to the scalar loop; pure unsigned integer min).
             PackedState* wrow = &scratch_[static_cast<std::size_t>(slot_[w]) * width];
             PackedState saved = 0;
             if (u_in_range) {  // never relax the diagonal pair (u, u)
                 saved = wrow[u_col];
                 wrow[u_col] = kUnreachablePacked;
             }
-            for (std::size_t j = 0; j < width; ++j) {
-                const PackedState cand = wrow[j] + 1;
-                row[j] = row[j] < cand ? row[j] : cand;
-            }
+            vec.packed_min_add1(row, wrow, width);
             if (u_in_range) wrow[u_col] = saved;
         }
 
         // 4. Every strict arrival improvement is a minimal trip departing at
         //    this instant; any value change feeds the distance accumulator.
+        //    Most cells survive a relaxation unchanged, so the dispatched
+        //    next_mismatch skips equal runs a whole SIMD register at a time;
+        //    consecutive changed cells are consumed by the inner inline loop
+        //    so dense change bursts pay one indirect call per run, not per
+        //    cell.
         const PackedState* old_row = &scratch_[static_cast<std::size_t>(slot_[u]) * width];
-        for (std::size_t j = 0; j < width; ++j) {
+        std::size_t j = vec.next_mismatch(row, old_row, 0, width);
+        while (j < width) {
             const PackedState now = row[j];
             const PackedState before = old_row[j];
-            if (now == before) continue;
             const NodeId v = col_begin_ + static_cast<NodeId>(j);
             const auto new_rank = static_cast<std::uint32_t>(now >> 32);
             const auto old_rank = static_cast<std::uint32_t>(before >> 32);
@@ -367,6 +379,10 @@ void TemporalReachability::process_instant(std::uint32_t rank, Time label, Sink&
                 sink(MinimalTrip{u, v, label, labels_[new_rank],
                                  static_cast<Hops>(static_cast<std::uint32_t>(now))});
             }
+            ++j;
+            if (j < width && row[j] != old_row[j]) continue;
+            if (j >= width) break;
+            j = vec.next_mismatch(row, old_row, j + 1, width);
         }
     }
 

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "temporal/minimal_trip.hpp"
 #include "temporal/reachability.hpp"
 #include "util/contracts.hpp"
+#include "util/simd.hpp"
 #include "util/types.hpp"
 
 namespace natscale {
@@ -58,6 +60,11 @@ public:
 
         friend constexpr bool operator==(const Entry&, const Entry&) = default;
     };
+    // The SIMD candidate-generation kernel (util/simd.hpp) copies entries as
+    // 16-byte {u32, u32, u64} records, bumping the second u32 lane (hops).
+    static_assert(sizeof(Entry) == 16);
+    static_assert(offsetof(Entry, v) == 0 && offsetof(Entry, hops) == 4 &&
+                  offsetof(Entry, arr) == 8);
 
     /// Per-source state: finite entries sorted by v.  Exposed (with
     /// state_rows / restore_state below) so the online engine's checkpoints
@@ -232,6 +239,18 @@ void SparseTemporalReachability::process_instant(Time label, Sink& sink,
     }
 
     // 3. One sorted merge per source: old row vs. all candidates.
+    const simd::Ops& vec = simd::ops();
+    // Appends [src, src + count) to candidates_ with every hops field
+    // incremented — the continuation candidates of one neighbor row, bulk
+    // copied through the active SIMD path (bit-identical to the former
+    // entry-at-a-time push loop: a pure u32 lane increment).
+    const auto append_bumped = [&](const Entry* src, std::size_t count) {
+        if (count == 0) return;
+        const std::size_t old_size = candidates_.size();
+        candidates_.resize(old_size + count);
+        vec.copy_bump_second_u32(reinterpret_cast<std::byte*>(candidates_.data() + old_size),
+                                 reinterpret_cast<const std::byte*>(src), count);
+    };
     std::size_t i = 0;
     while (i < arcs_.size()) {
         const NodeId u = arcs_[i].first;
@@ -241,11 +260,17 @@ void SparseTemporalReachability::process_instant(Time label, Sink& sink,
             const NodeId w = arcs_[i].second;
             // Direct hop u -> w at this instant.
             candidates_.push_back(Entry{w, 1, label});
-            // Continuations u -> w (now) -> ... -> v (later), v != u.
-            for (const Entry& e : snapshot_[static_cast<std::size_t>(slot_[w])]) {
-                if (e.v == u) continue;  // never relax the diagonal pair
-                candidates_.push_back(Entry{e.v, static_cast<Hops>(e.hops + 1), e.arr});
-            }
+            // Continuations u -> w (now) -> ... -> v (later), v != u: the
+            // neighbor row split around the diagonal entry (rows are sorted
+            // by v, so one lower_bound finds it), each half bulk-bumped.
+            const Row& wrow = snapshot_[static_cast<std::size_t>(slot_[w])];
+            const auto diag = std::lower_bound(
+                wrow.begin(), wrow.end(), u,
+                [](const Entry& e, NodeId x) { return e.v < x; });
+            append_bumped(wrow.data(), static_cast<std::size_t>(diag - wrow.begin()));
+            const auto rest = (diag != wrow.end() && diag->v == u) ? diag + 1 : diag;
+            append_bumped(wrow.data() + (rest - wrow.begin()),
+                          static_cast<std::size_t>(wrow.end() - rest));
         }
         // Lexicographic (v, arr, hops): after the sort the first candidate of
         // each v is the pointwise-best one, exactly the value the dense

@@ -128,6 +128,56 @@ TEST(CsvAdapter, StrictDelimiterRejectsEmptyFields) {
     // failed differently; strict mode names the hole.
 }
 
+TEST(CsvAdapter, StripsUtf8BomFromFirstLine) {
+    // Excel/Sheets exports prepend a UTF-8 BOM.  Left in place it was
+    // interned into the first node label, so "alice" on line 1 and "alice"
+    // on line 2 became two different nodes.
+    const auto loaded = parse_csv_stream("\xEF\xBB\xBF" "alice bob 1\nalice carol 2\n");
+    EXPECT_EQ(loaded.stream.num_nodes(), 3u);
+    const std::vector<std::string> labels{"alice", "bob", "carol"};
+    EXPECT_EQ(loaded.node_labels, labels);
+
+    // Only the first physical line is a BOM position; byte-identical content
+    // later in the file is data and stays untouched.
+    CsvFormat strict;
+    strict.delimiter = ',';
+    const auto kept = parse_csv_stream("\xEF\xBB\xBF" "a,b,1\n" "\xEF\xBB\xBF" "a,c,2\n", strict);
+    EXPECT_EQ(kept.stream.num_nodes(), 4u);  // a, b, "\xEF\xBB\xBF" "a", c
+    EXPECT_EQ(kept.node_labels[2], "\xEF\xBB\xBF" "a");
+}
+
+TEST(CsvAdapter, ClassicMacCarriageReturnLineEndings) {
+    // \r-only line endings (classic-Mac spreadsheet exports): the old
+    // std::getline-based reader saw the whole file as one line, parsed the
+    // first row and silently discarded every other event.
+    const auto loaded = parse_csv_stream("alice bob 100\rbob carol 250\ralice carol 300\r");
+    ASSERT_EQ(loaded.stream.num_events(), 3u);
+    EXPECT_EQ(loaded.stream.num_nodes(), 3u);
+    EXPECT_EQ(loaded.stream.period_end(), 301);
+
+    // Strict delimiting over \r-only rows, including a blank line and a
+    // final row without a terminator.
+    CsvFormat strict;
+    strict.delimiter = ',';
+    const auto strict_loaded = parse_csv_stream("a,b,1\r\rb,c,2\ra,c,3", strict);
+    ASSERT_EQ(strict_loaded.stream.num_events(), 3u);
+
+    // Mixed endings parse identically: every convention separates rows once.
+    const auto mixed = parse_csv_stream("alice bob 100\r\nbob carol 250\ralice carol 300\n");
+    ASSERT_EQ(mixed.stream.num_events(), 3u);
+    EXPECT_EQ(mixed.stream.period_end(), 301);
+
+    // Line numbers in diagnostics count \r rows, so errors point at the
+    // right row of the original file.
+    try {
+        parse_csv_stream("a b 1\rc d\r", {}, "mac.txt");
+        FAIL() << "expected io_error";
+    } catch (const io_error& e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "mac.txt:2: row has 2 fields, layout 'uvt' needs at least 3");
+    }
+}
+
 TEST(CsvAdapter, MalformedRowsNameLineAndReason) {
     try {
         parse_csv_stream("a b 1\nc d\n", {}, "bad.txt");

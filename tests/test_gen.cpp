@@ -64,6 +64,33 @@ TEST(GenSpec, RejectsMalformedText) {
     EXPECT_THROW(parse_gen_spec("uniform:seed=abc"), gen_error);
 }
 
+TEST(GenSpec, RejectsDuplicateSeedLikeAnyOtherKey) {
+    // seed is hoisted into its own struct field, so the params-map duplicate
+    // check never saw it: "seed=1,seed=2" used to keep 2 silently and the
+    // canonical echo dropped a parameter the caller passed.  Every duplicate
+    // key — seed included — must be a gen_error naming the key.
+    EXPECT_THROW(parse_gen_spec("uniform:seed=1,seed=2"), gen_error);
+    EXPECT_THROW(parse_gen_spec("uniform:n=4,seed=1,links=2,seed=1"), gen_error);
+    try {
+        parse_gen_spec("uniform:seed=1,seed=2");
+        FAIL() << "duplicate seed accepted";
+    } catch (const gen_error& e) {
+        EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos) << e.what();
+    }
+}
+
+TEST(GenSpec, CanonicalEchoNeverSilentlyDropsAParameter) {
+    // The echo contract: every key=value the caller passed either appears in
+    // to_string(parse(s)) or parsing rejected the spec.  With duplicates of
+    // any key (seed included) rejected, the echo of an accepted spec carries
+    // exactly the parameters that were given.
+    const std::string echo = gen::to_string(parse_gen_spec("uniform:links=5,n=40,seed=3"));
+    EXPECT_NE(echo.find("links=5"), std::string::npos) << echo;
+    EXPECT_NE(echo.find("n=40"), std::string::npos) << echo;
+    EXPECT_NE(echo.find("seed=3"), std::string::npos) << echo;
+}
+
 // --- registry resolution ----------------------------------------------------
 
 TEST(GeneratorRegistry, KnowsEveryExpectedModel) {

@@ -170,6 +170,64 @@ TEST(NatbinTailMode, RejectsMalformedAppendsAndShrinkingFiles) {
     EXPECT_THROW(open_natbin_tail(path2, before.complete_records), io_error);
 }
 
+TEST(NatbinTailMode, CursorDetectsTruncateAndRegrow) {
+    // A file truncated and regrown past its previous size between polls
+    // keeps (or exceeds) the old record count, so the count-only prefix
+    // check cannot see the swap; the cursor also carries the last validated
+    // record and rejects the impostor prefix.
+    const std::string path = write_sample("tail_regrow.natbin", /*finish=*/false);
+    TempFileGuard guard(path);
+    const NatbinTail before = open_natbin_tail(path);
+    const NatbinTailCursor cursor = tail_cursor(before);
+    EXPECT_EQ(cursor.validated_records, sample_events().size());
+    EXPECT_EQ(cursor.last_validated, sample_events().back());
+
+    // Writer restart: same header shape, unrelated content, MORE records
+    // than the validated prefix — the shrink check alone is satisfied.
+    {
+        NatbinWriter writer(path, 4, 20, false);
+        for (Time t = 0; t < 10; ++t) writer.append({0, 2, t});
+        writer.finish();
+    }
+    // The count-only overload splices the streams without noticing...
+    EXPECT_NO_THROW(open_natbin_tail(path, cursor.validated_records));
+    // ...the cursor overload refuses, naming the boundary record.
+    try {
+        open_natbin_tail(path, cursor);
+        FAIL() << "regrown file accepted as a continuation";
+    } catch (const io_error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+    }
+}
+
+TEST(NatbinTailMode, CursorAcceptsGenuineGrowth) {
+    const std::string path = temp_path("tail_cursor_growth.natbin");
+    TempFileGuard guard(path);
+    NatbinWriter writer(path, 4, 20, false);
+    writer.append({0, 1, 0});
+    writer.append({0, 2, 3});
+    writer.flush();
+
+    NatbinTail tail = open_natbin_tail(path, NatbinTailCursor{});  // fresh cursor
+    EXPECT_EQ(tail.complete_records, 2u);
+    NatbinTailCursor cursor = tail_cursor(tail);
+    EXPECT_EQ(cursor.validated_records, 2u);
+    EXPECT_EQ(cursor.last_validated, (Event{0, 2, 3}));
+
+    writer.append({1, 2, 5});
+    writer.flush();
+    tail = open_natbin_tail(path, cursor);
+    EXPECT_EQ(tail.complete_records, 3u);
+    cursor = tail_cursor(tail);
+    EXPECT_EQ(cursor.last_validated, (Event{1, 2, 5}));
+
+    // No growth between polls is fine too — the boundary still matches.
+    EXPECT_NO_THROW(open_natbin_tail(path, cursor));
+    writer.finish();
+    tail = open_natbin_tail(path, cursor);
+    EXPECT_TRUE(tail.finished());
+}
+
 TEST(NatbinTailMode, FlushThrowsAfterFinishViaContract) {
     const std::string path = temp_path("tail_flush_after_finish.natbin");
     TempFileGuard guard(path);
