@@ -1,0 +1,262 @@
+// Distributed-sweep bench: scaling and recovery overhead of the
+// fault-tolerant coordinator/worker engine (src/dist) against the
+// single-process DeltaSweepEngine, on the same cell-local contact workload
+// as perf_online.
+//
+// Protocol:
+//   1. write a finished natbin trace and run the single-process engine over
+//      a geometric Delta grid: the COLD reference (points + histograms);
+//   2. SCALING — run DistSweepEngine at 1, 2, 4 workers over the same grid
+//      and assert every run is bit-identical to the cold reference;
+//   3. RECOVERY — at the widest fleet, re-run under injected worker
+//      crashes (NATSCALE_FAULT=crash_before_reply:nth=K, inherited by every
+//      spawned worker: each worker process dies right after computing its
+//      K-th task, so a death costs a full task recompute).  Death rates:
+//      0 % (no fault), 10 % (nth=10), 50 % (nth=2).  Every run must still
+//      be bit-identical; the recovery overhead is the wall-time ratio vs
+//      the fault-free distributed run.
+//   4. emit the timings, fleet stats and identity verdicts as JSON
+//      (BENCH_dist.json in CI); exit 1 on any divergence.
+//
+// The bench binary is its own worker: the coordinator self-execs
+// /proc/self/exe, which lands in maybe_run_worker() below.
+//
+// Usage:
+//   perf_dist [--events=N] [--nodes=N] [--points=P] [--workers=W]
+//             [--json=FILE]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/delta_grid.hpp"
+#include "core/delta_sweep.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
+#include "linkstream/binary_io.hpp"
+#include "util/proc_rss.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace natscale;
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& arg, std::size_t prefix_len) {
+    try {
+        const std::string value = arg.substr(prefix_len);
+        std::size_t consumed = 0;
+        const unsigned long long parsed = std::stoull(value, &consumed);
+        if (value.empty() || value[0] == '-' || consumed != value.size() || parsed == 0) {
+            throw std::invalid_argument(value);
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid number in '%s'\n", arg.c_str());
+        std::exit(2);
+    }
+}
+
+constexpr std::uint64_t kCellSize = 8;
+
+Event cell_event(std::uint64_t i, std::uint64_t num_nodes) {
+    const std::uint64_t cells = num_nodes / kCellSize;
+    const std::uint64_t cell = hash64(i) % cells;
+    const std::uint64_t mixed = hash64(i * 0x9e3779b97f4a7c15ULL + 1);
+    auto a = static_cast<NodeId>(cell * kCellSize + mixed % kCellSize);
+    auto b = static_cast<NodeId>(cell * kCellSize + (mixed >> 8) % kCellSize);
+    if (a == b) b = static_cast<NodeId>(cell * kCellSize + (a + 1 - cell * kCellSize) % kCellSize);
+    if (a > b) std::swap(a, b);
+    return {a, b, static_cast<Time>(i)};
+}
+
+bool identical(const DeltaPoint& a, const DeltaPoint& b) {
+    return a.delta == b.delta && a.num_trips == b.num_trips &&
+           a.occupancy_mean == b.occupancy_mean &&
+           a.scores.mk_proximity == b.scores.mk_proximity &&
+           a.scores.std_deviation == b.scores.std_deviation &&
+           a.scores.variation_coefficient == b.scores.variation_coefficient &&
+           a.scores.shannon_entropy == b.scores.shannon_entropy &&
+           a.scores.cre == b.scores.cre;
+}
+
+bool identical(const Histogram01& a, const Histogram01& b) {
+    return a.counts() == b.counts() && a.total() == b.total() &&
+           a.moment_sum() == b.moment_sum() && a.moment_sum_sq() == b.moment_sum_sq();
+}
+
+struct RunRecord {
+    std::string name;
+    std::size_t workers = 0;
+    double seconds = 0.0;
+    bool bit_identical = false;
+    dist::DistSweepStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Worker hook: spawned children re-enter here with `dist-worker ...`.
+    if (const auto worker_exit = dist::maybe_run_worker(argc, argv)) return *worker_exit;
+
+    std::uint64_t num_events = 2'000'000;
+    std::uint64_t num_nodes = 4'096;
+    std::uint64_t points = 16;
+    std::uint64_t max_workers = 4;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--events=", 0) == 0) {
+            num_events = parse_u64(arg, 9);
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            num_nodes = parse_u64(arg, 8);
+        } else if (arg.rfind("--points=", 0) == 0) {
+            points = parse_u64(arg, 9);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            max_workers = parse_u64(arg, 10);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_dist [--events=N] [--nodes=N] [--points=P]\n"
+                         "                 [--workers=W] [--json=FILE]\n");
+            return 2;
+        }
+    }
+    ::unsetenv("NATSCALE_FAULT");  // a stray hook must not poison the baseline
+
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("natscale_bench_dist_" + std::to_string(num_events) + ".natbin"))
+                          .string();
+    int exit_code = 0;
+    try {
+        NatbinWriter writer(path, static_cast<NodeId>(num_nodes),
+                            static_cast<Time>(num_events), false);
+        for (std::uint64_t i = 0; i < num_events; ++i) {
+            writer.append(cell_event(i, num_nodes));
+        }
+        writer.finish();
+
+        const std::vector<Time> grid = geometric_delta_grid(
+            1, static_cast<Time>(num_events), static_cast<std::size_t>(points));
+
+        // --- 1. cold single-process reference ---------------------------
+        Stopwatch watch;
+        const LoadedStream loaded = open_natbin(path);
+        DeltaSweepEngine cold(loaded.stream, {});
+        std::vector<Histogram01> cold_hists;
+        const std::vector<DeltaPoint> cold_points = cold.evaluate(grid, &cold_hists);
+        const double cold_s = watch.elapsed_seconds();
+        std::printf("cold single-process sweep: grid=%zu %.2fs\n", grid.size(), cold_s);
+
+        const SweepConfig config;
+        const auto run_dist = [&](const std::string& name, std::size_t workers,
+                                  const char* fault) {
+            if (fault != nullptr) {
+                ::setenv("NATSCALE_FAULT", fault, 1);
+            } else {
+                ::unsetenv("NATSCALE_FAULT");
+            }
+            dist::DistConfig dconfig;
+            dconfig.workers = workers;
+            dconfig.spawn_limit = 4'096;  // death-rate runs burn many processes
+            Stopwatch run_watch;
+            dist::DistSweepEngine engine(path, config, dconfig);
+            std::vector<Histogram01> hists;
+            const std::vector<DeltaPoint> dist_points = engine.evaluate(grid, &hists);
+            RunRecord record;
+            record.name = name;
+            record.workers = workers;
+            record.seconds = run_watch.elapsed_seconds();
+            record.stats = engine.stats();
+            record.bit_identical = dist_points.size() == cold_points.size();
+            for (std::size_t g = 0; record.bit_identical && g < cold_points.size(); ++g) {
+                record.bit_identical = identical(dist_points[g], cold_points[g]) &&
+                                       identical(hists[g], cold_hists[g]);
+            }
+            ::unsetenv("NATSCALE_FAULT");
+            std::printf(
+                "%-22s workers=%zu %.2fs identical=%s deaths=%llu retries=%llu "
+                "inprocess=%llu\n",
+                name.c_str(), workers, record.seconds,
+                record.bit_identical ? "yes" : "NO",
+                static_cast<unsigned long long>(record.stats.worker_deaths),
+                static_cast<unsigned long long>(record.stats.task_retries),
+                static_cast<unsigned long long>(record.stats.tasks_inprocess));
+            if (!record.bit_identical) {
+                std::fprintf(stderr, "FAIL: %s diverged from the cold sweep\n",
+                             name.c_str());
+                exit_code = 1;
+            }
+            return record;
+        };
+
+        // --- 2. scaling --------------------------------------------------
+        std::vector<RunRecord> runs;
+        for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+            runs.push_back(run_dist("scale_w" + std::to_string(workers), workers, nullptr));
+        }
+        const double fault_free_s = runs.back().seconds;
+
+        // --- 3. recovery overhead under worker deaths --------------------
+        // Each worker process SIGKILLs itself right after computing its
+        // nth task: one recomputed task per nth completed ones.
+        runs.push_back(run_dist("deaths_10pct", max_workers,
+                                "crash_before_reply:nth=10"));
+        runs.push_back(run_dist("deaths_50pct", max_workers,
+                                "crash_before_reply:nth=2"));
+
+        if (!json_path.empty() && exit_code == 0) {
+            std::FILE* out = std::fopen(json_path.c_str(), "w");
+            if (out == nullptr) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", json_path.c_str());
+                exit_code = 1;
+            } else {
+                std::fprintf(out,
+                             "{\n"
+                             "  \"benchmark\": \"perf_dist\",\n"
+                             "  \"events\": %llu,\n"
+                             "  \"nodes\": %llu,\n"
+                             "  \"grid_points\": %zu,\n"
+                             "  \"cold_sweep_seconds\": %.6f,\n"
+                             "  \"peak_rss_mib\": %.3f,\n"
+                             "  \"runs\": [\n",
+                             static_cast<unsigned long long>(num_events),
+                             static_cast<unsigned long long>(num_nodes), grid.size(),
+                             cold_s, peak_rss_mib());
+                for (std::size_t i = 0; i < runs.size(); ++i) {
+                    const RunRecord& run = runs[i];
+                    const double overhead =
+                        fault_free_s > 0 ? run.seconds / fault_free_s : 0.0;
+                    std::fprintf(
+                        out,
+                        "    {\"name\": \"%s\", \"workers\": %zu, \"seconds\": %.6f,\n"
+                        "     \"speedup_vs_cold\": %.3f, \"overhead_vs_fault_free\": %.3f,\n"
+                        "     \"bit_identical\": %s, \"workers_spawned\": %llu,\n"
+                        "     \"worker_deaths\": %llu, \"task_retries\": %llu,\n"
+                        "     \"stalled_leases\": %llu, \"tasks_inprocess\": %llu}%s\n",
+                        run.name.c_str(), run.workers, run.seconds,
+                        run.seconds > 0 ? cold_s / run.seconds : 0.0, overhead,
+                        run.bit_identical ? "true" : "false",
+                        static_cast<unsigned long long>(run.stats.workers_spawned),
+                        static_cast<unsigned long long>(run.stats.worker_deaths),
+                        static_cast<unsigned long long>(run.stats.task_retries),
+                        static_cast<unsigned long long>(run.stats.stalled_leases),
+                        static_cast<unsigned long long>(run.stats.tasks_inprocess),
+                        i + 1 < runs.size() ? "," : "");
+                }
+                std::fprintf(out, "  ]\n}\n");
+                std::fclose(out);
+                std::printf("wrote %s\n", json_path.c_str());
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        exit_code = 1;
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return exit_code;
+}

@@ -58,7 +58,7 @@ struct CurvePoint {
 
 /// Batch-evaluates every delta of `grid` not present in `curve` yet and
 /// inserts the results in delta order.
-void evaluate_grid(DeltaSweepEngine& engine, const std::vector<Time>& grid,
+void evaluate_grid(const GridEvaluator& evaluate, const std::vector<Time>& grid,
                    std::vector<CurvePoint>& curve) {
     std::vector<Time> missing;
     missing.reserve(grid.size());
@@ -72,7 +72,7 @@ void evaluate_grid(DeltaSweepEngine& engine, const std::vector<Time>& grid,
     if (missing.empty()) return;
 
     std::vector<Histogram01> histograms;
-    std::vector<DeltaPoint> points = engine.evaluate(missing, &histograms);
+    std::vector<DeltaPoint> points = evaluate(missing, &histograms);
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto it = std::lower_bound(
             curve.begin(), curve.end(), points[i].delta,
@@ -96,22 +96,16 @@ std::size_t argmax_index(const std::vector<CurvePoint>& curve, UniformityMetric 
 
 }  // namespace
 
-SaturationResult find_saturation_scale(const LinkStream& stream,
-                                       const SweepConfig& options) {
-    NATSCALE_EXPECTS(!stream.empty());
+SaturationResult find_saturation_scale_with(const GridEvaluator& evaluate, Time lo,
+                                            Time hi, const SweepConfig& options) {
     NATSCALE_EXPECTS(options.coarse_points >= 2);
-
-    const Time lo = options.min_delta > 0 ? options.min_delta : 1;
-    const Time hi = options.max_delta > 0 ? options.max_delta : stream.period_end();
     NATSCALE_EXPECTS(lo >= 1 && lo <= hi);
-
-    DeltaSweepEngine engine(stream, sweep_options_of(options));
 
     SaturationResult result;
     result.metric = options.metric;
 
     std::vector<CurvePoint> curve;
-    evaluate_grid(engine, geometric_delta_grid(lo, hi, options.coarse_points), curve);
+    evaluate_grid(evaluate, geometric_delta_grid(lo, hi, options.coarse_points), curve);
 
     for (std::size_t round = 0; round < options.refine_rounds; ++round) {
         const std::size_t best = argmax_index(curve, options.metric);
@@ -120,7 +114,7 @@ SaturationResult find_saturation_scale(const LinkStream& stream,
         const Time bracket_hi = best + 1 >= curve.size() ? curve.back().point.delta
                                                          : curve[best + 1].point.delta;
         if (bracket_hi - bracket_lo <= 2) break;  // already at tick resolution
-        evaluate_grid(engine,
+        evaluate_grid(evaluate,
                       linear_delta_grid(bracket_lo, bracket_hi,
                                         std::max<std::size_t>(options.refine_points, 3)),
                       curve);
@@ -133,6 +127,21 @@ SaturationResult find_saturation_scale(const LinkStream& stream,
     result.curve.reserve(curve.size());
     for (const auto& entry : curve) result.curve.push_back(entry.point);
     return result;
+}
+
+SaturationResult find_saturation_scale(const LinkStream& stream,
+                                       const SweepConfig& options) {
+    NATSCALE_EXPECTS(!stream.empty());
+
+    const Time lo = options.min_delta > 0 ? options.min_delta : 1;
+    const Time hi = options.max_delta > 0 ? options.max_delta : stream.period_end();
+
+    DeltaSweepEngine engine(stream, sweep_options_of(options));
+    return find_saturation_scale_with(
+        [&engine](std::span<const Time> grid, std::vector<Histogram01>* histograms) {
+            return engine.evaluate(grid, histograms);
+        },
+        lo, hi, options);
 }
 
 }  // namespace natscale

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "core/delta_sweep.hpp"
@@ -67,6 +69,22 @@ struct SaturationResult {
 /// backend and thread count.  Preconditions: stream non-empty.
 SaturationResult find_saturation_scale(const LinkStream& stream,
                                        const SweepConfig& options = {});
+
+/// Batch evaluator of one grid round: returns a DeltaPoint per period and,
+/// when the pointer is non-null, the occupancy histogram each point was
+/// scored from.  DeltaSweepEngine::evaluate has exactly this shape; the
+/// distributed engine (dist/coordinator) provides the other implementation.
+using GridEvaluator = std::function<std::vector<DeltaPoint>(
+    std::span<const Time>, std::vector<Histogram01>*)>;
+
+/// The occupancy-method search loop (coarse geometric grid + linear
+/// refinement around the running optimum) over an arbitrary evaluator.
+/// Every engine that can evaluate a grid batch gets the identical search —
+/// and therefore the identical gamma — through this one definition;
+/// find_saturation_scale is exactly this with a DeltaSweepEngine plugged
+/// in.  Preconditions: 1 <= lo <= hi, coarse_points >= 2.
+SaturationResult find_saturation_scale_with(const GridEvaluator& evaluate, Time lo,
+                                            Time hi, const SweepConfig& options);
 
 /// Evaluates a single aggregation period (one O(nM) sweep).  This is the
 /// legacy single-period reference path — independent of DeltaSweepEngine —

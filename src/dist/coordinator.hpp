@@ -1,0 +1,113 @@
+// The fault-tolerant sweep coordinator (docs/distributed.md).
+//
+// DistSweepEngine fans (delta, column-shard) tasks out to worker
+// *processes* over a Unix socket — self-exec'd children by default, or any
+// process that runs dist::run_worker against the socket — and merges their
+// checkpoint-format histogram partials in deterministic shard order.  The
+// result is bit-identical to the single-process DeltaSweepEngine whatever
+// the worker count, task order, deaths or retries, because
+//
+//   1. the task partition (column_shards) is a pure function of n,
+//   2. every partial is an exact split-invariant accumulator
+//      (stats/histogram01, stats/exact_sum), and
+//   3. partials merge in the fixed ascending (delta, shard) order, not in
+//      arrival order.
+//
+// Robustness model (the reason this engine exists):
+//   - per-task leases: an assignment carries a deadline, refreshed by
+//     worker heartbeats; a lease that expires is a hung worker — the task
+//     requeues and the worker is killed;
+//   - death detection: a closed/broken connection (SIGKILL, crash,
+//     half-written frame) requeues the running task immediately;
+//   - exponential backoff: a requeued task waits base*2^(attempts-1)
+//     before reassignment, so a poisoned task cannot busy-spin the fleet;
+//   - idempotent task IDs: a result for an already-done (or unknown) task
+//     is discarded and counted, never merged twice;
+//   - checksummed partials: a corrupt reply is a diagnosed retry, not a
+//     wrong answer;
+//   - graceful degradation: tasks that exhaust their attempts, and all
+//     tasks when no worker can be spawned at all, run in-process through
+//     the same TaskRunner the workers use.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/delta_sweep.hpp"
+#include "core/saturation.hpp"
+#include "dist/stats.hpp"
+#include "linkstream/io.hpp"
+#include "natscale/sweep_config.hpp"
+#include "stats/histogram01.hpp"
+#include "util/types.hpp"
+
+namespace natscale::dist {
+
+struct DistConfig {
+    /// Target fleet size.  0 runs every task in-process (no fleet).
+    std::size_t workers = 2;
+
+    /// Worker launch command: the binary (plus any leading arguments) to
+    /// exec with `dist-worker --connect=<socket>` appended; it must call
+    /// dist::maybe_run_worker() at the top of main().  Empty self-execs
+    /// /proc/self/exe — correct whenever the coordinator's own binary has
+    /// the hook.
+    std::vector<std::string> worker_cmd;
+
+    /// Lease length: a worker silent (no heartbeat, no reply) this long
+    /// loses its task and its life.
+    std::uint64_t lease_timeout_ms = 10'000;
+
+    /// Worker heartbeat interval; 0 derives lease_timeout_ms / 4.
+    std::uint64_t heartbeat_ms = 0;
+
+    /// A task failing this many times degrades to in-process execution —
+    /// the run always terminates, massacre or not.
+    std::uint32_t max_task_attempts = 4;
+
+    std::uint64_t backoff_base_ms = 25;
+    std::uint64_t backoff_max_ms = 1'000;
+
+    /// Lifetime spawn budget (respawns included); 0 derives workers * 8.
+    std::size_t spawn_limit = 0;
+};
+
+class DistSweepEngine {
+public:
+    /// Opens (and validates) the shared natbin immediately; spawns no
+    /// workers until the first evaluate().  Throws on an unopenable trace.
+    DistSweepEngine(std::string natbin_path, const SweepConfig& config,
+                    DistConfig dist);
+    ~DistSweepEngine();
+
+    DistSweepEngine(const DistSweepEngine&) = delete;
+    DistSweepEngine& operator=(const DistSweepEngine&) = delete;
+
+    /// Distributed analogue of DeltaSweepEngine::evaluate: one DeltaPoint
+    /// per grid period (and the merged histograms, when requested),
+    /// bit-identical to the single-process engine.  The fleet persists
+    /// across calls, so refinement rounds reuse warm workers.
+    std::vector<DeltaPoint> evaluate(std::span<const Time> grid,
+                                     std::vector<Histogram01>* histograms_out);
+
+    const DistSweepStats& stats() const;
+
+    /// The coordinator's own mmap of the shared trace.
+    const LinkStream& stream() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// The occupancy-method search (core/saturation) with every grid
+/// evaluation distributed over the worker fleet.  `natbin_path` must be a
+/// .natbin file — that is the format workers can mmap and share.
+SaturationResult find_saturation_scale_dist(const std::string& natbin_path,
+                                            const SweepConfig& options,
+                                            const DistConfig& dist,
+                                            DistSweepStats* stats_out = nullptr);
+
+}  // namespace natscale::dist

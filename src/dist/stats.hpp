@@ -1,0 +1,35 @@
+// Fault/retry accounting of one distributed sweep run — the numbers the
+// robustness layer surfaces in the schema-1 dist summary report
+// (natscale/report_schema) and asserts on in tests/test_dist_sweep.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace natscale::dist {
+
+struct DistSweepStats {
+    std::uint64_t workers_requested = 0;  // --workers=N
+    std::uint64_t workers_spawned = 0;    // processes forked (incl. respawns)
+    std::uint64_t workers_connected = 0;  // completed the hello handshake
+    std::uint64_t worker_deaths = 0;      // connection lost (SIGKILL, crash, EOF)
+    std::uint64_t spawn_failures = 0;     // child exited before ever connecting
+
+    std::uint64_t tasks_total = 0;        // (delta, shard) tasks across all rounds
+    std::uint64_t task_retries = 0;       // requeues, whatever the cause
+    std::uint64_t stalled_leases = 0;     // lease deadline expiries (hung worker)
+    std::uint64_t corrupt_partials = 0;   // checksum/parse-rejected replies
+    std::uint64_t duplicate_replies = 0;  // late replies for already-done tasks, discarded
+    std::uint64_t tasks_inprocess = 0;    // degraded to coordinator-local execution
+
+    double wall_seconds = 0.0;
+
+    /// True when every task ran exactly once on a live worker — the
+    /// baseline a fault-free run must report.
+    bool clean() const noexcept {
+        return worker_deaths == 0 && spawn_failures == 0 && task_retries == 0 &&
+               stalled_leases == 0 && corrupt_partials == 0 &&
+               duplicate_replies == 0 && tasks_inprocess == 0;
+    }
+};
+
+}  // namespace natscale::dist

@@ -1,0 +1,46 @@
+#include "dist/task_runner.hpp"
+
+#include "linkstream/aggregation.hpp"
+#include "temporal/minimal_trip.hpp"
+#include "temporal/reachability_backend.hpp"
+#include "util/contracts.hpp"
+
+namespace natscale::dist {
+
+TaskRunner::TaskRunner(const LinkStream& stream, std::size_t histogram_bins,
+                       std::uint32_t backend)
+    : stream_(&stream), bins_(histogram_bins), backend_(backend) {
+    NATSCALE_EXPECTS(bins_ > 0);
+}
+
+Histogram01 TaskRunner::run(const DistTask& task) {
+    if (task.delta != cached_delta_) {
+        // The chunked aggregation pipeline: works on mmap'd natbin sources
+        // and is bit-identical to DeltaSweepEngine's pair-index path (both
+        // emit sorted, deduplicated edge lists).
+        series_.emplace(natscale::aggregate(*stream_, task.delta));
+        cached_delta_ = task.delta;
+    }
+    const GraphSeries& series = *series_;
+
+    Histogram01 hist(bins_);
+    ReachabilityOptions options;
+    options.backend = static_cast<ReachabilityBackend>(backend_);
+    const auto sink = [&hist](const MinimalTrip& trip) {
+        hist.add(series_occupancy(trip));
+    };
+    const ReachabilityBackend resolved =
+        select_backend(series.num_nodes(), series.total_edges(), options);
+    if (resolved == ReachabilityBackend::dense) {
+        const NodeId n = series.num_nodes();
+        dense_.scan_series_columns(series, std::min(task.col_begin, n),
+                                   std::min(task.col_end, n), sink, options);
+    } else if (task.shard_index == 0) {
+        // No column-restricted sparse scan exists; the whole scan rides on
+        // shard 0 and the delta's other shards contribute empty partials.
+        sparse_.scan_series(series, sink, options);
+    }
+    return hist;
+}
+
+}  // namespace natscale::dist

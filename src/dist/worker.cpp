@@ -1,0 +1,271 @@
+#include "dist/worker.hpp"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "dist/protocol.hpp"
+#include "dist/task_runner.hpp"
+#include "linkstream/binary_io.hpp"
+#include "util/fault.hpp"
+#include "util/fd_io.hpp"
+
+namespace natscale::dist {
+
+namespace {
+
+using service::Frame;
+using service::FrameReader;
+
+/// Shared socket writer: the task loop and the heartbeat thread interleave
+/// whole frames, never bytes, so the coordinator always sees valid framing
+/// (except when crash_mid_frame deliberately breaks it).
+class FrameChannel {
+public:
+    explicit FrameChannel(int fd) : fd_(fd) {}
+
+    bool send(DistMessage type, std::span<const std::byte> payload) {
+        std::vector<std::byte> bytes;
+        bytes.reserve(service::kFrameHeaderBytes + payload.size());
+        service::append_frame(bytes, as_frame_type(type), payload);
+        std::lock_guard lock(mutex_);
+        return fdio::send_all(fd_, bytes.data(), bytes.size());
+    }
+
+    /// The crash_mid_frame fault: emit exactly half the frame, then die by
+    /// SIGKILL — the coordinator sees a half-written frame followed by EOF.
+    [[noreturn]] void send_half_then_die(DistMessage type,
+                                         std::span<const std::byte> payload) {
+        std::vector<std::byte> bytes;
+        service::append_frame(bytes, as_frame_type(type), payload);
+        std::lock_guard lock(mutex_);
+        fdio::send_all(fd_, bytes.data(), bytes.size() / 2);
+        ::raise(SIGKILL);
+        ::_exit(137);  // unreachable
+    }
+
+    int fd() const { return fd_; }
+
+private:
+    int fd_;
+    std::mutex mutex_;
+};
+
+/// Periodic lease keep-alives off the task loop; pause() is the stall
+/// fault's lever (a worker that computes forever but still heartbeats is
+/// slow, not dead — only silence expires a lease).
+class HeartbeatThread {
+public:
+    HeartbeatThread(FrameChannel& channel, std::uint64_t interval_ms)
+        : channel_(&channel), interval_ms_(interval_ms) {
+        if (interval_ms_ > 0) thread_ = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatThread() {
+        {
+            std::lock_guard lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    void set_task(std::uint64_t task_id) { task_id_.store(task_id); }
+    void pause() { paused_.store(true); }
+
+private:
+    void loop() {
+        std::unique_lock lock(mutex_);
+        while (!stop_) {
+            wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+            if (stop_) return;
+            if (paused_.load()) continue;
+            Heartbeat beat;
+            beat.task_id = task_id_.load();
+            lock.unlock();
+            channel_->send(DistMessage::heartbeat, encode_heartbeat(beat));
+            lock.lock();
+        }
+    }
+
+    FrameChannel* channel_;
+    std::uint64_t interval_ms_;
+    std::atomic<std::uint64_t> task_id_{0};
+    std::atomic<bool> paused_{false};
+    bool stop_ = false;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::thread thread_;
+};
+
+int connect_unix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool read_next_frame(int fd, FrameReader& reader, Frame& frame) {
+    while (!reader.next(frame)) {
+        std::byte chunk[16 * 1024];
+        const ssize_t n = fdio::recv_retry(fd, chunk, sizeof(chunk));
+        if (n <= 0) return false;  // EOF or error: the coordinator is gone
+        reader.feed(std::span<const std::byte>(chunk, static_cast<std::size_t>(n)));
+    }
+    return true;
+}
+
+void sleep_ms(std::uint64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+int run_worker(const std::string& socket_path) {
+    const int fd = connect_unix(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "dist-worker: cannot connect to %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        return 1;
+    }
+    FrameChannel channel(fd);
+
+    WorkerHello hello;
+    hello.spawn_index = fault_spawn_index_from_env();
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    if (!channel.send(DistMessage::worker_hello, encode_worker_hello(hello))) {
+        ::close(fd);
+        return 1;
+    }
+
+    FrameReader reader;
+    Frame frame;
+    WorkerConfig config;
+    try {
+        if (!read_next_frame(fd, reader, frame) ||
+            frame.type != as_frame_type(DistMessage::worker_config)) {
+            ::close(fd);
+            return 1;
+        }
+        config = parse_worker_config(frame.payload);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dist-worker: bad config: %s\n", e.what());
+        ::close(fd);
+        return 1;
+    }
+
+    int exit_code = 0;
+    try {
+        // The shared trace: mmap'd, paged on demand — every worker of the
+        // fleet reads the same file, nothing is copied per process.
+        const LoadedStream loaded = open_natbin(config.natbin_path);
+        TaskRunner runner(loaded.stream, static_cast<std::size_t>(config.histogram_bins),
+                          config.backend);
+        HeartbeatThread heartbeats(channel, config.heartbeat_ms);
+
+        const FaultSpec fault = fault_spec_from_env();
+        const bool fault_scoped = fault_spawn_index_from_env() < fault.spawns;
+        std::uint64_t ordinal = 0;  // tasks assigned to THIS process, 1-based
+
+        while (read_next_frame(fd, reader, frame)) {
+            if (frame.type != as_frame_type(DistMessage::task_assign)) continue;
+            DistTask task;
+            try {
+                task = parse_task_assign(frame.payload);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "dist-worker: bad task frame: %s\n", e.what());
+                exit_code = 1;
+                break;
+            }
+            ++ordinal;
+            heartbeats.set_task(task.id);
+            const bool fires = fault_scoped && ordinal == fault.nth;
+
+            if (fires && fault.kind == FaultKind::delay) {
+                sleep_ms(fault.ms != 0 ? fault.ms : 100);
+            }
+            if (fires && fault.kind == FaultKind::stall) {
+                // Go silent and hang: heartbeats stop, the lease expires,
+                // and the coordinator reassigns the task and kills us.
+                heartbeats.pause();
+                sleep_ms(fault.ms != 0 ? fault.ms : 600'000);
+            }
+
+            TaskResult result;
+            result.task_id = task.id;
+            try {
+                result.partial = runner.run(task);
+            } catch (const std::exception& e) {
+                TaskError error;
+                error.task_id = task.id;
+                error.message = e.what();
+                heartbeats.set_task(0);
+                if (!channel.send(DistMessage::task_error, encode_task_error(error))) break;
+                continue;
+            }
+
+            if (fires && fault.kind == FaultKind::crash_before_reply) {
+                ::raise(SIGKILL);
+                ::_exit(137);
+            }
+            std::vector<std::byte> payload = encode_task_result(result);
+            if (fires && fault.kind == FaultKind::corrupt_partial) {
+                // Flip bytes inside the histogram region: the payload still
+                // frames correctly but the trailing checksum cannot match.
+                payload[payload.size() / 2] ^= std::byte{0xff};
+                payload[payload.size() / 2 + 1] ^= std::byte{0xa5};
+            }
+            if (fires && fault.kind == FaultKind::crash_mid_frame) {
+                channel.send_half_then_die(DistMessage::task_result, payload);
+            }
+            heartbeats.set_task(0);
+            if (!channel.send(DistMessage::task_result, payload)) break;
+            if (fires && fault.kind == FaultKind::duplicate_reply) {
+                // The zombie scenario: the same (task_id, partial) arrives a
+                // second time; idempotent task IDs make it a discard.
+                if (!channel.send(DistMessage::task_result, payload)) break;
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dist-worker: %s\n", e.what());
+        exit_code = 1;
+    }
+    ::close(fd);
+    return exit_code;
+}
+
+std::optional<int> maybe_run_worker(int argc, char** argv) {
+    if (argc < 2 || std::strcmp(argv[1], kWorkerSubcommand) != 0) return std::nullopt;
+    std::string socket_path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--connect=", 0) == 0) socket_path = arg.substr(10);
+    }
+    if (socket_path.empty()) {
+        std::fprintf(stderr, "usage: %s --connect=<coordinator socket>\n",
+                     kWorkerSubcommand);
+        return 2;
+    }
+    return run_worker(socket_path);
+}
+
+}  // namespace natscale::dist

@@ -1,0 +1,37 @@
+// The distributed-sweep worker process (protocol in dist/protocol.hpp,
+// lifecycle in docs/distributed.md).
+//
+// A worker is any process that connects to the coordinator's Unix socket,
+// says worker_hello, receives the worker_config (which natbin to mmap and
+// which sweep knobs to use), and then serves task_assign frames one at a
+// time until EOF.  The coordinator normally self-execs its own binary with
+// the magic first argument `dist-worker`; any host binary opts in by
+// calling maybe_run_worker() at the top of main() (find_time_scale does,
+// and the dist test binary does — which is how tests get real worker
+// processes without a separate executable).  A worker launched by hand
+// against a live coordinator socket works identically: the protocol does
+// not care who fork()ed whom.
+//
+// The NATSCALE_FAULT injection hook (util/fault.hpp) is compiled in
+// unconditionally: fault sites are cheap env checks that never fire in
+// production, and chaos tests need them present in every build.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace natscale::dist {
+
+/// The magic argv[1] a self-exec'd worker is launched with.
+inline constexpr const char* kWorkerSubcommand = "dist-worker";
+
+/// Runs the worker loop against the coordinator socket at `socket_path`.
+/// Returns the process exit code (0 = coordinator closed the channel).
+int run_worker(const std::string& socket_path);
+
+/// Host-binary hook: when argv is a `dist-worker --connect=PATH`
+/// invocation, runs the worker loop and returns its exit code; returns
+/// nullopt otherwise (the caller proceeds with its normal main).
+std::optional<int> maybe_run_worker(int argc, char** argv);
+
+}  // namespace natscale::dist

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "linkstream/io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/wire.hpp"
 
@@ -108,13 +109,9 @@ std::vector<std::byte> serialize_checkpoint(const OnlineSweepEngine& engine) {
 }
 
 void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
-    const std::vector<std::byte> bytes = serialize_checkpoint(engine);
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("cannot open '" + path + "' for writing");
-    os.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) throw std::runtime_error("cannot write checkpoint to '" + path + "'");
+    // Durable atomic replacement: a crash (or power cut) during the save
+    // leaves the previous checkpoint intact, never a torn file.
+    atomic_write_file(path, serialize_checkpoint(engine));
 }
 
 OnlineSweepEngine restore_checkpoint(std::span<const std::byte> bytes,

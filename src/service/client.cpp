@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fd_io.hpp"
+
 namespace natscale::service {
 
 namespace {
@@ -95,29 +97,19 @@ void Client::send_frame(MessageType type, std::span<const std::byte> payload) {
 }
 
 void Client::send_raw(std::span<const std::byte> bytes) {
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-        const ssize_t n =
-            send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            throw_errno("send");
-        }
-        sent += static_cast<std::size_t>(n);
-    }
+    if (!fdio::send_all(fd_, bytes.data(), bytes.size())) throw_errno("send");
 }
 
 Frame Client::read_frame() {
     Frame frame;
     while (!reader_.next(frame)) {
         std::byte chunk[16 * 1024];
-        const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+        const ssize_t n = fdio::recv_retry(fd_, chunk, sizeof(chunk));
         if (n > 0) {
             reader_.feed(std::span<const std::byte>(chunk, static_cast<std::size_t>(n)));
             continue;
         }
         if (n == 0) throw std::runtime_error("server closed the connection");
-        if (errno == EINTR) continue;
         throw_errno("recv");
     }
     return frame;

@@ -30,7 +30,9 @@
 #include "natscale/report_schema.hpp"
 #include "natscale/session.hpp"
 #include "service/protocol.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
+#include "util/fd_io.hpp"
 #include "util/json.hpp"
 #include "util/wire.hpp"
 
@@ -245,7 +247,7 @@ struct Server::Impl {
     void read_frames(const ConnectionPtr& conn) {
         std::byte chunk[kReadChunk];
         for (;;) {
-            const ssize_t n = recv(conn->fd, chunk, sizeof(chunk), 0);
+            const ssize_t n = fdio::recv_retry(conn->fd, chunk, sizeof(chunk));
             if (n > 0) {
                 try {
                     conn->reader.feed(std::span<const std::byte>(
@@ -266,7 +268,6 @@ struct Server::Impl {
                 return;
             }
             if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-            if (errno == EINTR) continue;
             disconnect(conn);
             return;
         }
@@ -336,13 +337,12 @@ struct Server::Impl {
             if (conn->closed) return;
             while (conn->sent < conn->outbox.size()) {
                 const ssize_t n =
-                    send(conn->fd, conn->outbox.data() + conn->sent,
-                         conn->outbox.size() - conn->sent, MSG_NOSIGNAL);
+                    fdio::send_retry(conn->fd, conn->outbox.data() + conn->sent,
+                                     conn->outbox.size() - conn->sent);
                 if (n >= 0) {
                     conn->sent += static_cast<std::size_t>(n);
                     continue;
                 }
-                if (errno == EINTR) continue;
                 if (errno == EAGAIN || errno == EWOULDBLOCK) {
                     want_writable = true;
                     break;
@@ -867,7 +867,9 @@ struct Server::Impl {
     }
 
     /// Strand-exclusive: serializes the session plus resume bookkeeping and
-    /// renames into place so a crash mid-write never corrupts the old file.
+    /// durably replaces the state file (util/atomic_file: temp + fsync +
+    /// rename + dirsync), so neither a crash mid-write nor power loss right
+    /// after the save can corrupt or lose the previous snapshot.
     void persist(StreamState& stream) {
         wire::Writer out;
         out.raw(kStateMagic, sizeof(kStateMagic));
@@ -882,17 +884,7 @@ struct Server::Impl {
         out.raw(snapshot.data(), snapshot.size());
         out.u64(wire::fnv1a64(out.bytes().data(), out.bytes().size()));
 
-        const std::filesystem::path path = state_path(stream.name);
-        const std::filesystem::path tmp = path.string() + ".tmp";
-        {
-            std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-            if (!os) throw std::runtime_error("cannot write " + tmp.string());
-            os.write(reinterpret_cast<const char*>(out.bytes().data()),
-                     static_cast<std::streamsize>(out.bytes().size()));
-            os.flush();
-            if (!os) throw std::runtime_error("cannot write " + tmp.string());
-        }
-        std::filesystem::rename(tmp, path);
+        atomic_write_file(state_path(stream.name).string(), out.bytes());
     }
 
     /// Exit path, after the workers joined (exclusive session access).

@@ -1,0 +1,105 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/fault.hpp"
+#include "util/fd_io.hpp"
+
+namespace natscale {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// fsync an already-open descriptor; EINTR retried (Linux fsync restarts
+/// cleanly).
+void fsync_fd(int fd, const std::string& what) {
+    for (;;) {
+        if (::fsync(fd) == 0) return;
+        if (errno != EINTR) throw_errno("fsync " + what);
+    }
+}
+
+/// Opens the directory holding `path` and fsyncs it, making the rename's
+/// directory entry itself durable.
+void fsync_parent_dir(const std::filesystem::path& path) {
+    std::filesystem::path dir = path.parent_path();
+    if (dir.empty()) dir = ".";
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) throw_errno("open directory " + dir.string());
+    try {
+        fsync_fd(fd, dir.string());
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::span<const std::byte> bytes) {
+    // pid + process-local counter: concurrent writers (two daemon strands,
+    // two processes sharing a state dir) never collide on the temp name.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(counter.fetch_add(1));
+
+    // Crash semantics: a process that dies at its nth save never saves
+    // again, so while the fault is armed every call from the nth on is
+    // torn (>=, not ==) — and clearing NATSCALE_FAULT is the "restart".
+    static std::atomic<std::uint64_t> fault_ordinal{0};
+    const FaultSpec fault = current_fault_spec();
+    const bool torn = fault.kind == FaultKind::torn_write &&
+                      fault_ordinal.fetch_add(1) + 1 >= fault.nth &&
+                      fault_spawn_index_from_env() < fault.spawns;
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno("open " + tmp);
+    const std::size_t count = torn ? bytes.size() / 2 : bytes.size();
+    if (!fdio::write_all(fd, bytes.data(), count)) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throw_errno("write " + tmp);
+    }
+    if (torn) {
+        // Simulated crash between temp-write and rename: leave the torn
+        // temp file behind (as a real crash would) and never touch `path`.
+        ::close(fd);
+        return;
+    }
+    try {
+        fsync_fd(fd, tmp);
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throw_errno("close " + tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throw_errno("rename " + tmp + " -> " + path);
+    }
+    fsync_parent_dir(std::filesystem::path(path));
+}
+
+}  // namespace natscale

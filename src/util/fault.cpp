@@ -1,0 +1,93 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+namespace natscale {
+
+namespace {
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (~std::uint64_t{0} - digit) / 10) return false;
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+bool parse_kind(const std::string& name, FaultKind& out) {
+    if (name == "crash_before_reply") out = FaultKind::crash_before_reply;
+    else if (name == "crash_mid_frame") out = FaultKind::crash_mid_frame;
+    else if (name == "delay") out = FaultKind::delay;
+    else if (name == "corrupt_partial") out = FaultKind::corrupt_partial;
+    else if (name == "stall") out = FaultKind::stall;
+    else if (name == "duplicate_reply") out = FaultKind::duplicate_reply;
+    else if (name == "torn_write") out = FaultKind::torn_write;
+    else return false;
+    return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::none: return "none";
+        case FaultKind::crash_before_reply: return "crash_before_reply";
+        case FaultKind::crash_mid_frame: return "crash_mid_frame";
+        case FaultKind::delay: return "delay";
+        case FaultKind::corrupt_partial: return "corrupt_partial";
+        case FaultKind::stall: return "stall";
+        case FaultKind::duplicate_reply: return "duplicate_reply";
+        case FaultKind::torn_write: return "torn_write";
+    }
+    return "none";
+}
+
+FaultSpec fault_spec_from_env() {
+    FaultSpec spec;
+    const char* env = std::getenv("NATSCALE_FAULT");
+    if (env == nullptr || *env == '\0') return spec;
+    const std::string text(env);
+
+    std::size_t at = text.find(':');
+    if (!parse_kind(text.substr(0, at), spec.kind)) return FaultSpec{};
+    while (at != std::string::npos) {
+        const std::size_t next = text.find(':', at + 1);
+        const std::string part = text.substr(
+            at + 1, next == std::string::npos ? std::string::npos : next - at - 1);
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos) return FaultSpec{};
+        const std::string key = part.substr(0, eq);
+        std::uint64_t value = 0;
+        if (!parse_u64(part.substr(eq + 1), value)) return FaultSpec{};
+        if (key == "nth") spec.nth = value;
+        else if (key == "ms") spec.ms = value;
+        else if (key == "spawns") spec.spawns = value;
+        else return FaultSpec{};
+        at = next;
+    }
+    if (spec.nth == 0) return FaultSpec{};  // ordinals are 1-based
+    return spec;
+}
+
+std::uint64_t fault_spawn_index_from_env() {
+    const char* env = std::getenv("NATSCALE_DIST_SPAWN");
+    std::uint64_t value = 0;
+    if (env != nullptr && parse_u64(env, value)) return value;
+    return 0;
+}
+
+FaultSpec current_fault_spec() { return fault_spec_from_env(); }
+
+bool fault_fires(FaultKind kind, std::uint64_t ordinal) {
+    const FaultSpec spec = fault_spec_from_env();
+    if (spec.kind != kind) return false;
+    if (ordinal != spec.nth) return false;
+    return fault_spawn_index_from_env() < spec.spawns;
+}
+
+}  // namespace natscale

@@ -1,0 +1,70 @@
+// NATSCALE_FAULT — the deterministic fault-injection hook compiled into
+// every binary that links the library.
+//
+// Chaos testing the distributed sweep (and the durable-save path) needs
+// faults that fire at a *chosen* moment, not whenever a random killer gets
+// lucky.  The hook reads one environment variable:
+//
+//   NATSCALE_FAULT=<kind>[:nth=N][:ms=M][:spawns=K]
+//
+//     kind     what to break (see FaultKind)
+//     nth      fire on the process's N-th opportunity (1-based; default 1).
+//              For a sweep worker the ordinal counts assigned tasks, so
+//              "the 2nd task this worker runs" is deterministic.
+//     ms       duration parameter for delay/stall kinds (milliseconds)
+//     spawns   only processes with spawn index < K fire (default: all).
+//              The coordinator numbers every worker it spawns through the
+//              NATSCALE_DIST_SPAWN variable, monotonically across respawns,
+//              so "crash the first two workers, let their replacements
+//              live" is expressible — without it a crash-on-first-task
+//              fault would also kill every replacement and livelock.
+//
+// The hook is deliberately tiny and env-driven: the injection sites call
+// fault_fires() with their kind and a local ordinal, and an unset or
+// unparsable NATSCALE_FAULT means every call is false.  Faults fire in the
+// process that parses the variable — the coordinator never fires worker
+// kinds because it never reaches those injection sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace natscale {
+
+enum class FaultKind : std::uint32_t {
+    none = 0,
+    crash_before_reply,  // worker: SIGKILL itself after computing, before replying
+    crash_mid_frame,     // worker: send half the reply frame, then SIGKILL itself
+    delay,               // worker: sleep ms before replying (heartbeats keep going)
+    corrupt_partial,     // worker: flip bytes in the reply payload (checksum trips)
+    stall,               // worker: stop heartbeating and hang (lease must expire)
+    duplicate_reply,     // worker: send the identical reply frame twice
+    torn_write,          // atomic_file: write half the temp file, skip the rename
+};
+
+struct FaultSpec {
+    FaultKind kind = FaultKind::none;
+    std::uint64_t nth = 1;       // 1-based ordinal the fault fires on
+    std::uint64_t ms = 0;        // delay/stall duration (0 = kind's default)
+    std::uint64_t spawns = ~std::uint64_t{0};  // fire only when spawn index < this
+};
+
+/// Parses NATSCALE_FAULT.  Unset, empty or unparsable -> kind == none
+/// (injection must never break a production run).
+FaultSpec fault_spec_from_env();
+
+/// Spawn index of this process: NATSCALE_DIST_SPAWN, 0 when unset (a
+/// process nobody numbered counts as the first spawn).
+std::uint64_t fault_spawn_index_from_env();
+
+/// True when the env-configured fault is `kind`, scoped to this process's
+/// spawn index, and `ordinal` is the configured nth opportunity.
+bool fault_fires(FaultKind kind, std::uint64_t ordinal);
+
+/// The env-configured spec (parsed once per call; callers on hot paths
+/// should cache).  Exposed so injection sites can read `ms`.
+FaultSpec current_fault_spec();
+
+const char* to_string(FaultKind kind);
+
+}  // namespace natscale

@@ -1,0 +1,125 @@
+// util/atomic_file: durable atomic replacement, and the torn-write fault
+// hook proving the previous file survives an interrupted save — for the raw
+// helper and for the online checkpoint path built on it.
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/delta_grid.hpp"
+#include "online/checkpoint.hpp"
+#include "online/incremental_sweep.hpp"
+#include "testing/temp_files.hpp"
+
+namespace natscale {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+    std::vector<std::byte> bytes(text.size());
+    std::memcpy(bytes.data(), text.data(), text.size());
+    return bytes;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+/// RAII NATSCALE_FAULT setter: never leaks the hook into later tests.
+class FaultEnv {
+public:
+    explicit FaultEnv(const char* spec) { ::setenv("NATSCALE_FAULT", spec, 1); }
+    ~FaultEnv() { ::unsetenv("NATSCALE_FAULT"); }
+};
+
+TEST(AtomicFile, ReplacesContentDurably) {
+    const std::string path = natscale::testing::temp_path("atomic_roundtrip.bin");
+    natscale::testing::TempFileGuard guard(path);
+
+    atomic_write_file(path, bytes_of("first version"));
+    EXPECT_EQ(read_file(path), "first version");
+
+    atomic_write_file(path, bytes_of("second version, longer than the first"));
+    EXPECT_EQ(read_file(path), "second version, longer than the first");
+}
+
+TEST(AtomicFile, TornWriteLeavesPreviousFileIntact) {
+    const std::string path = natscale::testing::temp_path("atomic_torn.bin");
+    natscale::testing::TempFileGuard guard(path);
+
+    atomic_write_file(path, bytes_of("the good save"));
+    ASSERT_EQ(read_file(path), "the good save");
+
+    {
+        FaultEnv fault("torn_write");
+        // A "crash" between temp-write and rename: the target must still be
+        // the complete previous version, however often we retry.
+        atomic_write_file(path, bytes_of("the save that crashes halfway"));
+        atomic_write_file(path, bytes_of("and its doomed retry"));
+        EXPECT_EQ(read_file(path), "the good save");
+    }
+
+    // Process "restarted" (fault cleared): saving works again.
+    atomic_write_file(path, bytes_of("after the restart"));
+    EXPECT_EQ(read_file(path), "after the restart");
+
+    // Torn temp files are dead weight, not hazards: they never shadow the
+    // real file (checked above) — clean up whatever the fault left behind.
+    const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(std::filesystem::path(path).filename().string() + ".tmp.", 0) == 0) {
+            std::filesystem::remove(entry.path());
+        }
+    }
+}
+
+TEST(AtomicFile, MissingDirectoryReportsError) {
+    EXPECT_THROW(
+        atomic_write_file("/nonexistent_natscale_dir/x.bin", bytes_of("payload")),
+        std::runtime_error);
+}
+
+/// The online checkpoint rides on atomic_write_file: a save interrupted by
+/// the fault hook must leave the previous checkpoint loadable and bit-exact.
+TEST(AtomicFile, CheckpointSurvivesTornSave) {
+    const std::string path = natscale::testing::temp_path("atomic_ckpt.natck");
+    natscale::testing::TempFileGuard guard(path);
+
+    OnlineSweepOptions options;
+    options.grid = geometric_delta_grid(1, 100, 6);
+    OnlineSweepEngine engine(8, false, options);
+    std::vector<Event> events;
+    for (Time t = 0; t < 50; ++t) {
+        events.push_back({static_cast<NodeId>(t % 8),
+                          static_cast<NodeId>((t + 1) % 8), t});
+    }
+    engine.sync(events, 50);
+    save_checkpoint(path, engine);
+    const std::uint64_t saved_events = engine.synced_events();
+
+    {
+        FaultEnv fault("torn_write");
+        std::vector<Event> more = events;
+        more.push_back({0, 3, 60});
+        engine.sync(more, 61);
+        save_checkpoint(path, engine);  // "crashes" mid-save
+    }
+
+    // Write-then-reopen: the file is the complete previous checkpoint.
+    OnlineSweepEngine restored = load_checkpoint(path);
+    EXPECT_EQ(restored.synced_events(), saved_events);
+    EXPECT_EQ(restored.num_nodes(), 8u);
+    EXPECT_TRUE(std::equal(restored.grid().begin(), restored.grid().end(),
+                           options.grid.begin(), options.grid.end()));
+}
+
+}  // namespace
+}  // namespace natscale
