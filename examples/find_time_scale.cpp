@@ -66,8 +66,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -82,6 +84,9 @@
 #include "linkstream/io.hpp"
 #include "linkstream/stream_stats.hpp"
 #include "natscale/api.hpp"
+#include "natscale/report_schema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/checkpoint.hpp"
 #include "online/incremental_sweep.hpp"
 #include "util/format.hpp"
@@ -122,8 +127,49 @@ void usage() {
                  "                       [--poll-ms=M] [--max-reports=N]\n"
                  "                       [--checkpoint=PATH]\n"
                  "every subcommand also accepts --simd=auto|scalar|avx2|avx512|neon\n"
-                 "(kernel dispatch override; results are bit-identical on every path)\n");
+                 "(kernel dispatch override; results are bit-identical on every path),\n"
+                 "--trace-out=FILE (Chrome-trace-format spans, loadable in Perfetto) and\n"
+                 "--metrics-out=FILE (final metrics_snapshot JSON line; '-' for stdout);\n"
+                 "results are bit-identical with and without either sink\n");
 }
+
+/// Process-wide observability session for the CLI (--trace-out /
+/// --metrics-out, any subcommand): installs the trace sink up front and,
+/// by living in main()'s scope, closes it and appends the final
+/// metrics_snapshot line on EVERY exit path — error returns included —
+/// so a failed run still leaves its counters on disk.
+class ObsSession {
+public:
+    ObsSession() = default;
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    void open_trace(const std::string& path) {
+        sink_ = std::make_unique<obs::TraceSink>(path);
+        obs::install_trace_sink(sink_.get());
+    }
+
+    void set_metrics_out(std::string path) { metrics_path_ = std::move(path); }
+
+    ~ObsSession() {
+        if (sink_ != nullptr) {
+            obs::install_trace_sink(nullptr);
+            sink_->close();
+        }
+        if (metrics_path_.empty()) return;
+        const std::string line = metrics_snapshot_json(obs::metrics_snapshot());
+        if (metrics_path_ == "-") {
+            std::printf("%s\n", line.c_str());
+        } else {
+            std::ofstream out(metrics_path_, std::ios::app);
+            out << line << "\n";
+        }
+    }
+
+private:
+    std::unique_ptr<obs::TraceSink> sink_;
+    std::string metrics_path_;
+};
 
 /// Loads `path` honouring a forced format.  natbin goes through the
 /// mmap-backed open_natbin, so the events are paged on demand instead of
@@ -393,13 +439,15 @@ int run_gen(int argc, char** argv) {
 /// (natscale/report_schema) — byte-identical field-for-field to a daemon
 /// saturation query over the same events.
 void emit_watch_report(const OnlineReport& report, Time watermark, bool finished,
-                       double refresh_seconds, UniformityMetric metric) {
+                       double refresh_seconds, UniformityMetric metric,
+                       std::int64_t seq) {
     ReportContext context;
     context.events = report.events_covered;
     context.watermark = watermark;
     context.sealed_only = false;  // watch refreshes over the whole tail
     context.finished = finished;
     context.refresh_seconds = refresh_seconds;
+    context.seq = seq;  // monotonic line counter: readers detect dropped lines
     // flush: a pipe reader sees it now
     std::cout << online_report_json(report, metric, context) << std::endl;
 }
@@ -556,7 +604,8 @@ int run_watch(int argc, char** argv) {
                 Stopwatch refresh_watch;
                 const OnlineReport report = engine.refresh(tail.events);
                 emit_watch_report(report, engine.synced_watermark(), tail.finished(),
-                                  refresh_watch.elapsed_seconds(), metric);
+                                  refresh_watch.elapsed_seconds(), metric,
+                                  static_cast<std::int64_t>(reports) + 1);
                 if (!checkpoint_path.empty()) save_checkpoint(checkpoint_path, engine);
                 reported_events = validated;
                 since_report.reset();
@@ -586,14 +635,29 @@ int main(int argc, char** argv) {
         usage();
         return 2;
     }
-    // --simd= applies to every subcommand (it pins the process-global kernel
-    // dispatch before any scan runs), so it is consumed here, ahead of the
-    // per-subcommand parsers.  Results are bit-identical on every path; the
-    // flag exists for benchmarking and for pinning CI legs.
+    // --simd=, --trace-out= and --metrics-out= apply to every subcommand
+    // (they pin process-global state before any scan runs), so they are
+    // consumed here, ahead of the per-subcommand parsers.  Results are
+    // bit-identical on every path; the flags exist for benchmarking,
+    // pinning CI legs and observability.
+    ObsSession obs_session;
     {
         int kept = 1;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
+            if (arg.rfind("--trace-out=", 0) == 0) {
+                try {
+                    obs_session.open_trace(arg.substr(12));
+                } catch (const std::exception& e) {
+                    std::fprintf(stderr, "error: %s\n", e.what());
+                    return 1;
+                }
+                continue;
+            }
+            if (arg.rfind("--metrics-out=", 0) == 0) {
+                obs_session.set_metrics_out(arg.substr(14));
+                continue;
+            }
             if (arg.rfind("--simd=", 0) != 0) {
                 argv[kept++] = argv[i];
                 continue;
@@ -703,12 +767,12 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    dist::DistSweepStats dist_stats;
     try {
         const LoadedStream loaded = load_input(path, format, load_options);
         const auto stats = compute_stream_stats(loaded.stream);
         if (!print_json) print_stream_summary(std::cout, path, stats);
 
-        dist::DistSweepStats dist_stats;
         const SaturationResult result =
             dist_config.workers > 0
                 ? dist::find_saturation_scale_dist(path, options, dist_config,
@@ -784,6 +848,19 @@ int main(int argc, char** argv) {
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        // The fault/retry counters are most interesting precisely when the
+        // sweep did NOT survive: emit the dist summary on the failure path
+        // too (the coordinator fills stats through the in-flight exception).
+        if (dist_config.workers > 0) {
+            if (print_json) {
+                std::cout << dist_summary_json(dist_stats) << '\n';
+            } else {
+                std::cout << "distributed sweep failed after "
+                          << dist_stats.task_retries << " retries, "
+                          << dist_stats.worker_deaths << " worker deaths ("
+                          << dist_stats.tasks_total << " tasks)\n";
+            }
+        }
         return 1;
     }
     return 0;

@@ -63,6 +63,7 @@ void usage() {
                  "  list             stream names, one per line\n"
                  "  checkpoint       persist all streams to the daemon's state dir\n"
                  "  ping             round-trip check\n"
+                 "  stats            print the daemon's live metrics snapshot (JSON)\n"
                  "  shutdown         checkpoint (when configured) and stop the daemon\n");
 }
 
@@ -304,6 +305,10 @@ int main(int argc, char** argv) {
         if (command == "ping") {
             client.ping();
             std::printf("pong\n");
+            return 0;
+        }
+        if (command == "stats") {
+            std::printf("%s\n", client.stats().c_str());
             return 0;
         }
         if (command == "shutdown") {

@@ -14,13 +14,22 @@
 // With --state-dir, checkpoint frames and graceful shutdown (SIGINT,
 // SIGTERM, or a shutdown frame) persist every stream; on restart the
 // daemon reloads them and ingestors resume from their acked sequence.
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "examples/example_cli.hpp"
+#include "natscale/report_schema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 
 using natscale::service::Server;
@@ -40,6 +49,9 @@ void usage() {
                  "  --workers=N              analysis worker threads (default 2)\n"
                  "  --engine-threads=N       per-engine sweep threads (default 1; results are\n"
                  "                           identical for every value)\n"
+                 "  --metrics-out=FILE       append a metrics_snapshot JSON line every 5 s\n"
+                 "                           (plus a final one at exit); '-' for stdout\n"
+                 "  --trace-out=FILE         write Chrome-trace-format spans of every request\n"
                  "\n"
                  "At least one --listen is required.  Both listener kinds may be active\n"
                  "at once.  SIGINT/SIGTERM shut down gracefully (checkpointing first\n"
@@ -87,16 +99,72 @@ void parse_listen(const std::string& arg, ServerOptions& options) {
     natscale::examples::invalid_value("--listen=", value, "unix:PATH or tcp:HOST:PORT");
 }
 
+/// Appends one metrics_snapshot line to `path` every ~5 s until stopped,
+/// plus a final line on the way out, so a crashed daemon still leaves its
+/// last heartbeat on disk.  Sequence numbers make gaps visible to readers.
+class MetricsHeartbeat {
+public:
+    explicit MetricsHeartbeat(std::string path) : path_(std::move(path)) {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~MetricsHeartbeat() {
+        {
+            std::lock_guard lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        emit();  // final snapshot after the server drained
+    }
+
+private:
+    void run() {
+        std::unique_lock lock(mutex_);
+        for (;;) {
+            emit();
+            if (cv_.wait_for(lock, std::chrono::seconds(5), [this] { return stop_; })) {
+                return;
+            }
+        }
+    }
+
+    void emit() {
+        const std::string line =
+            natscale::metrics_snapshot_json(natscale::obs::metrics_snapshot(), seq_++);
+        if (path_ == "-") {
+            std::printf("%s\n", line.c_str());
+            std::fflush(stdout);
+            return;
+        }
+        std::ofstream out(path_, std::ios::app);
+        out << line << "\n";
+    }
+
+    std::string path_;
+    std::int64_t seq_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
     ServerOptions options;
+    std::string metrics_out;
+    std::string trace_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--listen=", 0) == 0) {
             parse_listen(arg, options);
         } else if (arg.rfind("--state-dir=", 0) == 0) {
             options.state_dir = arg.substr(12);
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            metrics_out = natscale::examples::option_value(arg, "--metrics-out=");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = natscale::examples::option_value(arg, "--trace-out=");
         } else if (arg.rfind("--workers=", 0) == 0) {
             options.workers = natscale::examples::parse_count(arg, "--workers=");
         } else if (arg.rfind("--engine-threads=", 0) == 0) {
@@ -121,6 +189,11 @@ int main(int argc, char** argv) {
     }
 
     try {
+        std::unique_ptr<natscale::obs::TraceSink> sink;
+        if (!trace_out.empty()) {
+            sink = std::make_unique<natscale::obs::TraceSink>(trace_out);
+            natscale::obs::install_trace_sink(sink.get());
+        }
         Server server(std::move(options));
         g_server = &server;
         std::signal(SIGINT, handle_signal);
@@ -132,8 +205,18 @@ int main(int argc, char** argv) {
                         static_cast<unsigned>(server.tcp_port()));
             std::fflush(stdout);
         }
-        server.run();
+        {
+            std::unique_ptr<MetricsHeartbeat> heartbeat;
+            if (!metrics_out.empty()) {
+                heartbeat = std::make_unique<MetricsHeartbeat>(metrics_out);
+            }
+            server.run();
+        }
         g_server = nullptr;
+        if (sink != nullptr) {
+            natscale::obs::install_trace_sink(nullptr);
+            sink->close();
+        }
     } catch (const std::exception& error) {
         std::fprintf(stderr, "natscaled: %s\n", error.what());
         return 1;

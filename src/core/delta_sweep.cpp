@@ -12,10 +12,13 @@
 #endif
 
 #include "linkstream/aggregation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "temporal/minimal_trip.hpp"
 #include "temporal/reachability_backend.hpp"
 #include "temporal/sharded_scan.hpp"
 #include "util/contracts.hpp"
+#include "util/simd.hpp"
 
 namespace natscale {
 
@@ -202,12 +205,28 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate(std::span<const Time> grid,
     ReachabilityOptions scan_options;
     scan_options.backend = options_.backend;
 
+    static obs::Counter& deltas_evaluated = obs::counter("sweep.deltas_evaluated");
+    static obs::LatencyHistogram& scan_ns = obs::histogram("sweep.delta_scan_ns");
     workers.parallel_for(grid.size(), [&](std::size_t worker, std::size_t index) {
+        obs::Span span("sweep.delta");
+        if (span.active()) {
+            span.attr("delta", static_cast<std::int64_t>(grid[index]));
+            span.attr("simd", to_string(active_simd_isa()));
+        }
+        const std::uint64_t scan_start = obs::TraceSink::now_ns();
         const GraphSeries series = aggregate(grid[index]);
         Histogram01 hist(options_.histogram_bins);
         engines[worker].scan_series(
             series, [&](const MinimalTrip& trip) { hist.add(series_occupancy(trip)); },
             scan_options);
+        if (span.active()) {
+            span.attr("backend",
+                      engines[worker].last_backend() == ReachabilityBackend::dense
+                          ? "dense"
+                          : "sparse");
+        }
+        deltas_evaluated.add();
+        scan_ns.record(obs::TraceSink::now_ns() - scan_start);
 
         points[index] = score_delta_point(grid[index], hist, options_.shannon_slots);
         if (histograms_out != nullptr) (*histograms_out)[index] = std::move(hist);
@@ -245,6 +264,8 @@ std::vector<DeltaPoint> DeltaSweepEngine::evaluate_sharded(
                       });
 
     // 3. Merge each period's partials in ascending shard order and score.
+    static obs::Counter& deltas_evaluated = obs::counter("sweep.deltas_evaluated");
+    deltas_evaluated.add(grid.size());
     std::vector<DeltaPoint> points(grid.size());
     for (std::size_t g = 0; g < grid.size(); ++g) {
         Histogram01 hist = std::move(partials[plan.first_task[g]]);

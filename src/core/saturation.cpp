@@ -5,6 +5,8 @@
 #include "core/delta_grid.hpp"
 #include "core/delta_sweep.hpp"
 #include "core/occupancy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace natscale {
@@ -105,8 +107,13 @@ SaturationResult find_saturation_scale_with(const GridEvaluator& evaluate, Time 
     result.metric = options.metric;
 
     std::vector<CurvePoint> curve;
-    evaluate_grid(evaluate, geometric_delta_grid(lo, hi, options.coarse_points), curve);
+    {
+        obs::Span span("saturation.coarse_grid");
+        span.attr("points", static_cast<std::uint64_t>(options.coarse_points));
+        evaluate_grid(evaluate, geometric_delta_grid(lo, hi, options.coarse_points), curve);
+    }
 
+    static obs::Counter& rounds_run = obs::counter("saturation.refine_rounds");
     for (std::size_t round = 0; round < options.refine_rounds; ++round) {
         const std::size_t best = argmax_index(curve, options.metric);
         const Time bracket_lo = best == 0 ? curve.front().point.delta
@@ -114,6 +121,13 @@ SaturationResult find_saturation_scale_with(const GridEvaluator& evaluate, Time 
         const Time bracket_hi = best + 1 >= curve.size() ? curve.back().point.delta
                                                          : curve[best + 1].point.delta;
         if (bracket_hi - bracket_lo <= 2) break;  // already at tick resolution
+        obs::Span span("saturation.round");
+        if (span.active()) {
+            span.attr("round", static_cast<std::uint64_t>(round));
+            span.attr("bracket_lo", static_cast<std::int64_t>(bracket_lo));
+            span.attr("bracket_hi", static_cast<std::int64_t>(bracket_hi));
+        }
+        rounds_run.add();
         evaluate_grid(evaluate,
                       linear_delta_grid(bracket_lo, bracket_hi,
                                         std::max<std::size_t>(options.refine_points, 3)),

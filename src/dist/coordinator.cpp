@@ -22,6 +22,8 @@
 #include "dist/task_runner.hpp"
 #include "dist/worker.hpp"
 #include "linkstream/binary_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "temporal/column_shards.hpp"
 #include "util/contracts.hpp"
 #include "util/fd_io.hpp"
@@ -58,7 +60,27 @@ struct Slot {
     enum class State { queued, running, done } state = State::queued;
     std::uint32_t attempts = 0;      // assignments so far (for backoff + cap)
     Clock::time_point ready_at{};    // backoff gate: earliest reassignment
+    std::uint64_t assigned_ns = 0;   // trace clock at last assignment
     Histogram01 partial{1};
+};
+
+/// The dist slice of the obs registry: DistSweepStats is a per-engine
+/// view, these counters the process-cumulative one — every stats field
+/// increment below mirrors into its registry twin, so live `stats`
+/// queries and `--metrics-out` heartbeats see fleet churn as it happens.
+struct DistCounters {
+    obs::Counter& workers_spawned = obs::counter("dist.workers_spawned");
+    obs::Counter& workers_connected = obs::counter("dist.workers_connected");
+    obs::Counter& worker_deaths = obs::counter("dist.worker_deaths");
+    obs::Counter& spawn_failures = obs::counter("dist.spawn_failures");
+    obs::Counter& tasks_total = obs::counter("dist.tasks_total");
+    obs::Counter& task_assigns = obs::counter("dist.task_assigns");
+    obs::Counter& task_retries = obs::counter("dist.task_retries");
+    obs::Counter& stalled_leases = obs::counter("dist.stalled_leases");
+    obs::Counter& corrupt_partials = obs::counter("dist.corrupt_partials");
+    obs::Counter& duplicate_replies = obs::counter("dist.duplicate_replies");
+    obs::Counter& tasks_inprocess = obs::counter("dist.tasks_inprocess");
+    obs::Counter& heartbeats = obs::counter("dist.heartbeats");
 };
 
 struct WorkerConn {
@@ -79,6 +101,7 @@ struct DistSweepEngine::Impl {
     LoadedStream loaded;
     TaskRunner local_runner;  // the in-process degradation path
     DistSweepStats stats;
+    DistCounters obs_counters;
 
     int listener = -1;
     std::string socket_path;
@@ -161,6 +184,7 @@ struct DistSweepEngine::Impl {
             if (exe.empty()) {
                 spawning_given_up = true;
                 ++stats.spawn_failures;
+                obs_counters.spawn_failures.add();
                 return;
             }
             args.push_back(std::move(exe));
@@ -189,6 +213,7 @@ struct DistSweepEngine::Impl {
             // process table.
             spawning_given_up = true;
             ++stats.spawn_failures;
+            obs_counters.spawn_failures.add();
             return;
         }
         if (pid == 0) {
@@ -197,6 +222,10 @@ struct DistSweepEngine::Impl {
         }
         ++spawn_counter;
         ++stats.workers_spawned;
+        obs_counters.workers_spawned.add();
+        obs::Instant("dist.worker_spawn")
+            .attr("pid", static_cast<std::int64_t>(pid))
+            .attr("spawn_index", spawn_index);
         children.emplace(pid, spawn_index);
     }
 
@@ -227,6 +256,7 @@ struct DistSweepEngine::Impl {
             if (done == it->first) {
                 if (ever_connected.count(it->first) == 0) {
                     ++stats.spawn_failures;
+                    obs_counters.spawn_failures.add();
                     if (stats.spawn_failures >= dist.workers + 2) {
                         spawning_given_up = true;
                     }
@@ -262,10 +292,17 @@ struct DistSweepEngine::Impl {
     }
 
     void run_inprocess(Slot& slot) {
+        obs::Span span("dist.task_inprocess");
+        if (span.active()) {
+            span.attr("task", slot.task.id);
+            span.attr("delta", static_cast<std::int64_t>(slot.task.delta));
+            span.attr("shard", static_cast<std::uint64_t>(slot.task.shard_index));
+        }
         slot.partial = local_runner.run(slot.task);
         slot.state = Slot::State::done;
         ++done_count;
         ++stats.tasks_inprocess;
+        obs_counters.tasks_inprocess.add();
     }
 
     /// Returns a failed slot to the queue with exponential backoff, or —
@@ -275,6 +312,10 @@ struct DistSweepEngine::Impl {
         Slot& slot = slots[slot_index];
         if (slot.state == Slot::State::done) return;
         ++stats.task_retries;
+        obs_counters.task_retries.add();
+        obs::Instant("dist.task_retry")
+            .attr("task", slot.task.id)
+            .attr("attempts", static_cast<std::uint64_t>(slot.attempts));
         if (slot.attempts >= dist.max_task_attempts) {
             run_inprocess(slot);
             return;
@@ -284,7 +325,12 @@ struct DistSweepEngine::Impl {
     }
 
     void worker_lost(WorkerConn& conn, Clock::time_point now) {
-        if (conn.ready) ++stats.worker_deaths;
+        if (conn.ready) {
+            ++stats.worker_deaths;
+            obs_counters.worker_deaths.add();
+            obs::Instant("dist.worker_death")
+                .attr("pid", static_cast<std::int64_t>(conn.pid));
+        }
         const std::ptrdiff_t slot = conn.slot;
         kill_worker(conn);  // conn is dead after this
         if (slot >= 0) requeue(static_cast<std::size_t>(slot), now);
@@ -294,8 +340,16 @@ struct DistSweepEngine::Impl {
         Slot& slot = slots[slot_index];
         slot.state = Slot::State::running;
         ++slot.attempts;
+        slot.assigned_ns = obs::TraceSink::now_ns();
         conn.slot = static_cast<std::ptrdiff_t>(slot_index);
         conn.deadline = now + std::chrono::milliseconds(dist.lease_timeout_ms);
+        obs_counters.task_assigns.add();
+        obs::Instant("dist.task_assign")
+            .attr("task", slot.task.id)
+            .attr("delta", static_cast<std::int64_t>(slot.task.delta))
+            .attr("shard", static_cast<std::uint64_t>(slot.task.shard_index))
+            .attr("attempt", static_cast<std::uint64_t>(slot.attempts))
+            .attr("worker_pid", static_cast<std::int64_t>(conn.pid));
         const std::vector<std::byte> payload = encode_task_assign(slot.task);
         std::vector<std::byte> bytes;
         service::append_frame(bytes, as_frame_type(DistMessage::task_assign), payload);
@@ -362,6 +416,7 @@ struct DistSweepEngine::Impl {
         }
         conn.ready = true;
         ++stats.workers_connected;
+        obs_counters.workers_connected.add();
     }
 
     void handle_result(WorkerConn& conn, const Frame& frame, Clock::time_point now) {
@@ -371,15 +426,38 @@ struct DistSweepEngine::Impl {
             // A reply for a task of an earlier round (or an id we never
             // issued): the idempotency key says drop it.
             ++stats.duplicate_replies;
+            obs_counters.duplicate_replies.add();
             return;
         }
         Slot& slot = slots[found->second];
         if (slot.state == Slot::State::done) {
             ++stats.duplicate_replies;
+            obs_counters.duplicate_replies.add();
         } else {
             slot.partial = result.partial;
             slot.state = Slot::State::done;
             ++done_count;
+            // The task's lifetime (assignment -> merged result) as one
+            // complete trace span, id'd by the task id.
+            if (obs::TraceSink* sink = obs::trace_sink()) {
+                const std::uint64_t end_ns = obs::TraceSink::now_ns();
+                obs::SpanRecord record;
+                record.name = "dist.task";
+                record.id = slot.task.id;
+                record.start_ns = slot.assigned_ns;
+                record.duration_ns =
+                    end_ns > slot.assigned_ns ? end_ns - slot.assigned_ns : 1;
+                record.thread = obs::thread_ordinal();
+                record.num_attrs = 4;
+                record.attrs[0] = {"task", obs::Attr::Kind::u64, 0, slot.task.id, 0.0, {}};
+                record.attrs[1] = {"delta", obs::Attr::Kind::i64,
+                                   static_cast<std::int64_t>(slot.task.delta), 0, 0.0, {}};
+                record.attrs[2] = {"shard", obs::Attr::Kind::u64, 0,
+                                   slot.task.shard_index, 0.0, {}};
+                record.attrs[3] = {"worker_pid", obs::Attr::Kind::i64,
+                                   static_cast<std::int64_t>(conn.pid), 0, 0.0, {}};
+                sink->emit(record);
+            }
         }
         if (conn.slot == static_cast<std::ptrdiff_t>(found->second)) {
             conn.slot = -1;  // idle again; lease retired
@@ -407,6 +485,9 @@ struct DistSweepEngine::Impl {
                         if (frame.type == as_frame_type(DistMessage::task_result)) {
                             handle_result(conn, frame, now);
                         } else if (frame.type == as_frame_type(DistMessage::heartbeat)) {
+                            obs_counters.heartbeats.add();
+                            obs::Instant("dist.heartbeat")
+                                .attr("pid", static_cast<std::int64_t>(conn.pid));
                             if (conn.slot >= 0) {
                                 conn.deadline =
                                     now + std::chrono::milliseconds(dist.lease_timeout_ms);
@@ -428,6 +509,9 @@ struct DistSweepEngine::Impl {
                     // byte stream is no longer trustworthy.  Drop the worker,
                     // requeue its lease.
                     ++stats.corrupt_partials;
+                    obs_counters.corrupt_partials.add();
+                    obs::Instant("dist.corrupt_partial")
+                        .attr("pid", static_cast<std::int64_t>(conn.pid));
                     const std::ptrdiff_t slot = conn.slot;
                     kill_worker(conn);
                     if (slot >= 0) requeue(static_cast<std::size_t>(slot), now);
@@ -452,6 +536,10 @@ struct DistSweepEngine::Impl {
             // task moves on; the worker is killed (a kill is the only safe
             // retirement — a stalled process might wake up and reply).
             ++stats.stalled_leases;
+            obs_counters.stalled_leases.add();
+            obs::Instant("dist.lease_expired")
+                .attr("task", slots[static_cast<std::size_t>(conn.slot)].task.id)
+                .attr("pid", static_cast<std::int64_t>(conn.pid));
             const std::ptrdiff_t slot = conn.slot;
             kill_worker(conn);
             requeue(static_cast<std::size_t>(slot), now);
@@ -521,6 +609,7 @@ struct DistSweepEngine::Impl {
     std::vector<DeltaPoint> evaluate(std::span<const Time> grid,
                                      std::vector<Histogram01>* histograms_out) {
         const auto started = Clock::now();
+        obs::Span round_span("dist.evaluate");
         std::vector<DeltaPoint> points(grid.size());
         if (histograms_out != nullptr) {
             histograms_out->assign(grid.size(), Histogram01(config.histogram_bins));
@@ -557,6 +646,12 @@ struct DistSweepEngine::Impl {
         }
         first_slot[grid.size()] = slots.size();
         stats.tasks_total += slots.size();
+        obs_counters.tasks_total.add(slots.size());
+        if (round_span.active()) {
+            round_span.attr("grid", static_cast<std::uint64_t>(grid.size()));
+            round_span.attr("tasks", static_cast<std::uint64_t>(slots.size()));
+            round_span.attr("workers", static_cast<std::uint64_t>(dist.workers));
+        }
 
         ensure_fleet();
         while (done_count < slots.size()) {
@@ -577,6 +672,10 @@ struct DistSweepEngine::Impl {
 
         // Deterministic merge: ascending shard order within each grid
         // point, identical to DeltaSweepEngine::evaluate_sharded.
+        obs::Span merge_span("dist.merge");
+        if (merge_span.active()) {
+            merge_span.attr("partials", static_cast<std::uint64_t>(slots.size()));
+        }
         for (std::size_t g = 0; g < grid.size(); ++g) {
             Histogram01 merged = std::move(slots[first_slot[g]].partial);
             for (std::size_t s = first_slot[g] + 1; s < first_slot[g + 1]; ++s) {
@@ -617,11 +716,21 @@ SaturationResult find_saturation_scale_dist(const std::string& natbin_path,
     NATSCALE_EXPECTS(!stream.empty());
     const Time lo = options.min_delta > 0 ? options.min_delta : 1;
     const Time hi = options.max_delta > 0 ? options.max_delta : stream.period_end();
-    SaturationResult result = find_saturation_scale_with(
-        [&engine](std::span<const Time> grid, std::vector<Histogram01>* histograms) {
-            return engine.evaluate(grid, histograms);
-        },
-        lo, hi, options);
+    SaturationResult result;
+    try {
+        result = find_saturation_scale_with(
+            [&engine](std::span<const Time> grid, std::vector<Histogram01>* histograms) {
+                return engine.evaluate(grid, histograms);
+            },
+            lo, hi, options);
+    } catch (...) {
+        // The search failed mid-flight (I/O error, hostile fleet beyond
+        // degradation, ...).  The retry/fault accounting gathered so far
+        // is exactly what the caller needs to diagnose it — hand it over
+        // before rethrowing instead of losing it with the engine.
+        if (stats_out != nullptr) *stats_out = engine.stats();
+        throw;
+    }
     if (stats_out != nullptr) *stats_out = engine.stats();
     return result;
 }

@@ -18,6 +18,7 @@ void begin_report(JsonWriter& json, const ReportContext& context) {
                                       : static_cast<std::int64_t>(context.watermark));
     json.field("sealed_only", context.sealed_only);
     json.field("finished", context.finished);
+    if (context.seq >= 0) json.field("seq", context.seq);
 }
 
 void write_gamma_fields(JsonWriter& json, const OnlineReport& report,
@@ -105,6 +106,44 @@ std::string dist_summary_json(const dist::DistSweepStats& stats) {
     json.field("tasks_inprocess", stats.tasks_inprocess);
     json.field("clean", stats.clean());
     json.field("wall_seconds", stats.wall_seconds);
+    json.end_object();
+    return json.str();
+}
+
+std::string metrics_snapshot_json(const obs::MetricsSnapshot& snapshot,
+                                  std::int64_t seq) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", kReportSchemaVersion);
+    json.field("report", "metrics_snapshot");
+    if (seq >= 0) json.field("seq", seq);
+    json.begin_object("counters");
+    for (const auto& counter : snapshot.counters) {
+        json.field(counter.name, counter.value);
+    }
+    json.end_object();
+    json.begin_object("gauges");
+    for (const auto& gauge : snapshot.gauges) {
+        json.field(gauge.name, gauge.value);
+    }
+    json.end_object();
+    json.begin_object("histograms");
+    for (const auto& histogram : snapshot.histograms) {
+        json.begin_object(histogram.name);
+        json.field("count", histogram.count);
+        json.field("sum_nanos", histogram.sum_nanos);
+        json.begin_array("buckets");
+        // Trailing always-zero buckets are trimmed; bucket k's edge is
+        // still fixed (bucket_of), so consumers index from zero.
+        std::size_t last = histogram.buckets.size();
+        while (last > 0 && histogram.buckets[last - 1] == 0) --last;
+        for (std::size_t b = 0; b < last; ++b) {
+            json.value(static_cast<std::int64_t>(histogram.buckets[b]));
+        }
+        json.end_array();
+        json.end_object();
+    }
+    json.end_object();
     json.end_object();
     return json.str();
 }

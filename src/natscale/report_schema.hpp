@@ -26,6 +26,12 @@
 //   finished                 bool   true once the stream is complete (file
 //                                   finished / stream closed): the answer
 //                                   is final and equals the batch run
+//   seq                      uint   monotonic per-producer line counter
+//                                   (1, 2, 3, ...) so downstream consumers
+//                                   can order / dedupe JSONL lines; only
+//                                   emitted by line-oriented producers
+//                                   (`watch`), absent elsewhere (additive
+//                                   within schema 1)
 //
 // Saturation report (online_report_json):
 //   gamma_ticks              int    saturation scale: argmax of `metric`
@@ -91,6 +97,7 @@
 
 #include "core/delta_sweep.hpp"
 #include "dist/stats.hpp"
+#include "obs/metrics.hpp"
 #include "online/incremental_sweep.hpp"
 #include "stats/histogram01.hpp"
 #include "util/json.hpp"
@@ -118,6 +125,10 @@ struct ReportContext {
 
     /// Wall-clock seconds of the refresh that produced the answer.
     double refresh_seconds = 0.0;
+
+    /// Monotonic line counter for JSONL producers; < 0 omits the field
+    /// (single-document reports stay byte-identical to older emitters).
+    std::int64_t seq = -1;
 };
 
 /// One saturation report line (the `watch` JSONL line / the daemon's
@@ -137,8 +148,20 @@ std::string histogram_json(const Histogram01& histogram, Time delta,
                            const ReportContext& context);
 
 /// Fault/retry summary of one distributed sweep run (`find_time_scale
-/// --workers=N --json` second line).
+/// --workers=N --json` second line).  Emitted on the success path and on
+/// the graceful-degradation/error path alike, so retry/fault accounting
+/// is never lost.
 std::string dist_summary_json(const dist::DistSweepStats& stats);
+
+/// One merged view of the process-wide obs registry as a schema-1
+/// document (`"report": "metrics_snapshot"`): counters and gauges as
+/// name -> value objects, latency histograms as {count, sum_nanos,
+/// buckets} with fixed power-of-two-ns bucket edges
+/// (obs::LatencyHistogram::bucket_of).  Written by `--metrics-out`
+/// sinks, the daemon heartbeat, and the `stats` protocol reply.
+/// `seq` (>= 0) orders heartbeat lines; pass -1 for one-shot snapshots.
+std::string metrics_snapshot_json(const obs::MetricsSnapshot& snapshot,
+                                  std::int64_t seq = -1);
 
 /// Emits the schema-1 fields of one evaluated period into an already-open
 /// JSON object: the single definition shared by curve_json and the batch

@@ -1,0 +1,85 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace natscale::obs {
+
+std::size_t thread_ordinal() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+namespace {
+
+/// Name -> instrument tables.  unique_ptr values keep instrument
+/// addresses stable across rehashing/insertion; entries are never
+/// erased, so returned references live for the whole process.
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+    static Registry* instance = new Registry;  // leaked: outlives static dtors
+    return *instance;
+}
+
+template <typename T>
+T& intern(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+          std::mutex& mutex, std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = table.find(name);
+    if (it != table.end()) return *it->second;
+    return *table.emplace(std::string(name), std::make_unique<T>())
+                .first->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+    Registry& reg = registry();
+    return intern(reg.counters, reg.mutex, name);
+}
+
+Gauge& gauge(std::string_view name) {
+    Registry& reg = registry();
+    return intern(reg.gauges, reg.mutex, name);
+}
+
+LatencyHistogram& histogram(std::string_view name) {
+    Registry& reg = registry();
+    return intern(reg.histograms, reg.mutex, name);
+}
+
+MetricsSnapshot metrics_snapshot() {
+    Registry& reg = registry();
+    MetricsSnapshot snapshot;
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    snapshot.counters.reserve(reg.counters.size());
+    for (const auto& [name, instrument] : reg.counters) {
+        snapshot.counters.push_back({name, instrument->read()});
+    }
+    snapshot.gauges.reserve(reg.gauges.size());
+    for (const auto& [name, instrument] : reg.gauges) {
+        snapshot.gauges.push_back({name, instrument->read()});
+    }
+    snapshot.histograms.reserve(reg.histograms.size());
+    for (const auto& [name, instrument] : reg.histograms) {
+        MetricsSnapshot::HistogramValue value;
+        value.name = name;
+        value.buckets = instrument->read_buckets();
+        value.sum_nanos = instrument->read_sum_nanos();
+        for (const auto bucket : value.buckets) value.count += bucket;
+        snapshot.histograms.push_back(std::move(value));
+    }
+    return snapshot;
+}
+
+}  // namespace natscale::obs

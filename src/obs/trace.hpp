@@ -1,0 +1,163 @@
+// Structured tracing: RAII spans emitted in Chrome trace-event format.
+//
+// A Span brackets a unit of work (one Δ scan, one refinement round, one
+// daemon request); spans carry a process-unique id, the id of the
+// enclosing span on the same thread, and up to kMaxAttrs typed
+// attributes (Δ, shard range, task id, stream name, ...).  Completed
+// spans go to the installed TraceSink, which appends them as Chrome
+// trace-event JSON (one event per line, loadable in chrome://tracing
+// and Perfetto) and keeps an in-memory ring buffer of the most recent
+// spans for live introspection.
+//
+// Dormant by construction: all instrumentation is compiled in, but with
+// no sink installed a Span constructor is one relaxed atomic load and a
+// branch — attributes and the destructor short-circuit the same way, so
+// instrumented code is bit-identical and within noise of uninstrumented
+// code (tests/test_obs_perf.cpp guards this).  Installing a sink
+// mid-flight only affects spans constructed afterwards: each span pins
+// the sink it was born under.
+//
+//     {
+//         obs::Span span("sweep.delta");
+//         span.attr("delta", delta);
+//         ...work...
+//     }  // emitted on scope exit
+//
+// Instant events (obs::instant) mark moments with no duration — lease
+// expiries, task requeues — with the same attribute syntax.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natscale::obs {
+
+inline constexpr std::size_t kMaxAttrs = 8;
+
+/// One typed span/event attribute.  Keys must be string literals (the
+/// pointer is kept, not copied); string values are truncated to fit the
+/// inline buffer.
+struct Attr {
+    enum class Kind : std::uint8_t { none, i64, u64, f64, text };
+    const char* key = nullptr;
+    Kind kind = Kind::none;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    char text[48] = {0};
+
+    void set_text(std::string_view value) noexcept;
+};
+
+/// A finished span or instant event as stored in the sink's ring buffer.
+struct SpanRecord {
+    const char* name = nullptr;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint64_t start_ns = 0;   // monotonic, since sink creation
+    std::uint64_t duration_ns = 0;
+    std::size_t thread = 0;
+    std::size_t num_attrs = 0;
+    std::array<Attr, kMaxAttrs> attrs{};
+};
+
+/// Appends trace events to a file as they complete and mirrors the most
+/// recent ones into a fixed ring buffer.  Thread-safe; writes are
+/// serialized under a mutex (tracing is opt-in, dormant paths never get
+/// here).  The file is a single JSON array — "[\n" at open, one event
+/// object per line, "]" at close() — so `json.load` accepts the whole
+/// file and Perfetto accepts even an unterminated one after a crash.
+class TraceSink {
+public:
+    /// Opens `path` for writing (truncates).  Throws std::runtime_error
+    /// when the file cannot be opened.
+    explicit TraceSink(const std::string& path, std::size_t ring_capacity = 1024);
+    ~TraceSink();
+    TraceSink(const TraceSink&) = delete;
+    TraceSink& operator=(const TraceSink&) = delete;
+
+    /// Terminates the JSON array and closes the file.  Idempotent;
+    /// called by the destructor when not called explicitly.
+    void close();
+
+    void emit(const SpanRecord& record);
+
+    /// Most recent completed spans, oldest first.
+    std::vector<SpanRecord> recent() const;
+
+    std::uint64_t events_written() const;
+
+    /// Monotonic nanoseconds since an epoch fixed at process start.
+    static std::uint64_t now_ns() noexcept;
+
+private:
+    mutable std::mutex mutex_;
+    std::FILE* file_ = nullptr;
+    bool first_event_ = true;
+    std::uint64_t events_written_ = 0;
+    std::vector<SpanRecord> ring_;
+    std::size_t ring_next_ = 0;
+    std::size_t ring_size_ = 0;
+};
+
+/// Installs `sink` as the process-wide trace sink (nullptr uninstalls).
+/// The caller keeps ownership and must keep the sink alive until after
+/// uninstalling it and draining in-flight spans (in practice: install at
+/// startup, uninstall before destruction at shutdown).
+void install_trace_sink(TraceSink* sink) noexcept;
+
+/// The installed sink, or nullptr when tracing is dormant.
+TraceSink* trace_sink() noexcept;
+
+inline bool tracing_enabled() noexcept { return trace_sink() != nullptr; }
+
+class Span {
+public:
+    /// `name` must be a string literal (kept by pointer).
+    explicit Span(const char* name) noexcept;
+    ~Span() noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void attr(const char* key, std::int64_t value) noexcept;
+    void attr(const char* key, std::uint64_t value) noexcept;
+    void attr(const char* key, int value) noexcept {
+        attr(key, static_cast<std::int64_t>(value));
+    }
+    void attr(const char* key, double value) noexcept;
+    void attr(const char* key, std::string_view value) noexcept;
+
+    bool active() const noexcept { return sink_ != nullptr; }
+    std::uint64_t id() const noexcept { return record_.id; }
+
+private:
+    Attr* next_attr() noexcept;
+
+    TraceSink* sink_ = nullptr;
+    SpanRecord record_;
+};
+
+/// Emits a zero-duration instant event (dormant without a sink).
+class Instant {
+public:
+    explicit Instant(const char* name) noexcept;
+    ~Instant() noexcept;
+    Instant(const Instant&) = delete;
+    Instant& operator=(const Instant&) = delete;
+
+    Instant& attr(const char* key, std::int64_t value) noexcept;
+    Instant& attr(const char* key, std::uint64_t value) noexcept;
+    Instant& attr(const char* key, std::string_view value) noexcept;
+
+private:
+    TraceSink* sink_ = nullptr;
+    SpanRecord record_;
+};
+
+}  // namespace natscale::obs

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "linkstream/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/wire.hpp"
@@ -109,6 +111,9 @@ std::vector<std::byte> serialize_checkpoint(const OnlineSweepEngine& engine) {
 }
 
 void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
+    obs::Span span("online.checkpoint_save");
+    static obs::Counter& saves = obs::counter("online.checkpoint_saves");
+    saves.add();
     // Durable atomic replacement: a crash (or power cut) during the save
     // leaves the previous checkpoint intact, never a torn file.
     atomic_write_file(path, serialize_checkpoint(engine));
@@ -116,6 +121,12 @@ void save_checkpoint(const std::string& path, const OnlineSweepEngine& engine) {
 
 OnlineSweepEngine restore_checkpoint(std::span<const std::byte> bytes,
                                      const std::string& context) {
+    obs::Span span("online.checkpoint_restore");
+    if (span.active()) {
+        span.attr("bytes", static_cast<std::uint64_t>(bytes.size()));
+    }
+    static obs::Counter& restores = obs::counter("online.checkpoint_restores");
+    restores.add();
     const std::string& path = context;  // io_error labels errors by source
     const std::size_t size = bytes.size();
     if (size < kFixedHeaderBytes + 8) throw io_error(path, "truncated checkpoint header");

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "linkstream/aggregation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "temporal/minimal_trip.hpp"
 #include "util/contracts.hpp"
 
@@ -92,6 +94,20 @@ void OnlineSweepEngine::sync(std::span<const Event> events, Time watermark) {
     synced_events_ = events.size();
     watermark_ = watermark;
 
+    obs::Span span("online.sync");
+    if (span.active()) {
+        span.attr("events", static_cast<std::uint64_t>(events.size()));
+        span.attr("watermark", static_cast<std::int64_t>(watermark));
+    }
+    static obs::Counter& syncs = obs::counter("online.syncs");
+    static obs::Gauge& synced_gauge = obs::gauge("online.synced_events");
+    static obs::Gauge& watermark_gauge = obs::gauge("online.watermark_ticks");
+    syncs.add();
+    synced_gauge.set(static_cast<std::int64_t>(synced_events_));
+    watermark_gauge.set(watermark_ == kInfiniteTime
+                            ? std::int64_t{-1}
+                            : static_cast<std::int64_t>(watermark_));
+
     pool().parallel_for(periods_.size(), [&](std::size_t index) {
         PeriodState& period = periods_[index];
         // Window k is sealed once watermark >= k * delta: every event of
@@ -115,6 +131,16 @@ void OnlineSweepEngine::sync(std::span<const Event> events, Time watermark) {
 OnlineReport OnlineSweepEngine::refresh(std::span<const Event> events,
                                         std::vector<Histogram01>* histograms_out) {
     NATSCALE_EXPECTS(events.size() >= synced_events_);
+
+    obs::Span span("online.refresh");
+    if (span.active()) {
+        span.attr("events", static_cast<std::uint64_t>(events.size()));
+        span.attr("grid", static_cast<std::uint64_t>(periods_.size()));
+    }
+    static obs::Counter& refreshes = obs::counter("online.refreshes");
+    static obs::LatencyHistogram& refresh_ns = obs::histogram("online.refresh_ns");
+    refreshes.add();
+    const std::uint64_t refresh_start = obs::TraceSink::now_ns();
 
     OnlineReport report;
     report.points.resize(periods_.size());
@@ -154,6 +180,7 @@ OnlineReport OnlineSweepEngine::refresh(std::span<const Event> events,
     }
     report.at_gamma = report.points[report.best_index];
     report.gamma = report.at_gamma.delta;
+    refresh_ns.record(obs::TraceSink::now_ns() - refresh_start);
     return report;
 }
 

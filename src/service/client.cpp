@@ -179,6 +179,11 @@ void Client::ping() {
     expect(MessageType::pong);
 }
 
+std::string Client::stats() {
+    send_frame(MessageType::stats, {});
+    return parse_stats_result(expect(MessageType::stats_result).payload).json;
+}
+
 void Client::shutdown_server() {
     send_frame(MessageType::shutdown, {});
     expect(MessageType::checkpoint_ack);

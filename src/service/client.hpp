@@ -65,6 +65,10 @@ public:
     void checkpoint();
     void ping();
 
+    /// Fetches the daemon's live metrics registry as a schema-1
+    /// metrics_snapshot JSON document.
+    std::string stats();
+
     /// Asks the daemon to persist and exit; returns once acknowledged.
     void shutdown_server();
 

@@ -389,4 +389,23 @@ StreamList parse_stream_list(std::span<const std::byte> payload) {
     return msg;
 }
 
+// --- stats_result -----------------------------------------------------------
+
+std::vector<std::byte> encode_stats_result(const StatsResult& msg) {
+    // Like query_result, the JSON body is the frame remainder: a registry
+    // with many instruments can exceed kMaxStringBytes.
+    wire::Writer out;
+    out.raw(msg.json.data(), msg.json.size());
+    return std::move(out.bytes());
+}
+
+StatsResult parse_stats_result(std::span<const std::byte> payload) {
+    Cursor in(payload);
+    StatsResult msg;
+    const std::byte* body = in.take(payload.size());
+    msg.json = std::string(reinterpret_cast<const char*>(body), payload.size());
+    in.done();
+    return msg;
+}
+
 }  // namespace natscale::service

@@ -76,6 +76,8 @@ enum class MessageType : std::uint32_t {
     ping = 16,
     pong = 17,
     shutdown = 18,        // graceful stop (checkpoints first)
+    stats = 19,           // client -> server: observability snapshot request
+    stats_result = 20,    // server -> client: metrics_snapshot_json
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -215,6 +217,13 @@ struct StreamList {
     std::vector<std::string> names;
 };
 
+/// Reply to a stats request: the daemon's metrics registry serialized as a
+/// schema-1 metrics_snapshot report (natscale/report_schema).  The stats
+/// request itself carries an empty payload.
+struct StatsResult {
+    std::string json;  // may exceed kMaxStringBytes (rest of frame)
+};
+
 // --- encoders (payload only; wrap with append_frame) ------------------------
 
 std::vector<std::byte> encode_hello(const Hello& hello);
@@ -228,6 +237,7 @@ std::vector<std::byte> encode_close_stream(const CloseStream& msg);
 std::vector<std::byte> encode_query(const Query& msg);
 std::vector<std::byte> encode_query_result(const QueryResult& msg);
 std::vector<std::byte> encode_stream_list(const StreamList& msg);
+std::vector<std::byte> encode_stats_result(const StatsResult& msg);
 
 // --- parsers (throw protocol_error(bad_frame) on malformed payloads) --------
 
@@ -242,5 +252,6 @@ CloseStream parse_close_stream(std::span<const std::byte> payload);
 Query parse_query(std::span<const std::byte> payload);
 QueryResult parse_query_result(std::span<const std::byte> payload);
 StreamList parse_stream_list(std::span<const std::byte> payload);
+StatsResult parse_stats_result(std::span<const std::byte> payload);
 
 }  // namespace natscale::service

@@ -29,6 +29,8 @@
 #include "linkstream/io.hpp"
 #include "natscale/report_schema.hpp"
 #include "natscale/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
@@ -47,6 +49,23 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 
 [[noreturn]] void throw_errno(const std::string& what) {
     throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+const char* request_name(MessageType type) {
+    switch (type) {
+        case MessageType::hello: return "hello";
+        case MessageType::register_stream: return "register_stream";
+        case MessageType::attach_stream: return "attach_stream";
+        case MessageType::ingest: return "ingest";
+        case MessageType::close_stream: return "close_stream";
+        case MessageType::query: return "query";
+        case MessageType::checkpoint: return "checkpoint";
+        case MessageType::list_streams: return "list_streams";
+        case MessageType::ping: return "ping";
+        case MessageType::shutdown: return "shutdown";
+        case MessageType::stats: return "stats";
+        default: return "unknown";
+    }
 }
 
 bool valid_stream_name(const std::string& name) {
@@ -355,6 +374,11 @@ struct Server::Impl {
                 conn->sent = 0;
                 if (conn->close_after_flush) close_now = true;
             }
+            // Last-observed pending bytes on this connection: a sustained
+            // nonzero value means a reader is not keeping up.
+            static obs::Gauge& outbox_depth = obs::gauge("service.outbox_depth_bytes");
+            outbox_depth.set(
+                static_cast<std::int64_t>(conn->outbox.size() - conn->sent));
             if (want_writable != conn->want_writable && !close_now) {
                 conn->want_writable = want_writable;
                 rearm(conn->fd, want_writable ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
@@ -427,9 +451,18 @@ struct Server::Impl {
     }
 
     void enqueue(const StreamPtr& stream, std::function<void()> task) {
+        // Queue-delay gauge: last observed enqueue-to-start latency, the
+        // live signal that the worker pool is saturated.
+        static obs::Gauge& queue_delay = obs::gauge("service.strand_queue_delay_ns");
+        const std::uint64_t queued_ns = obs::TraceSink::now_ns();
+        auto timed = [queued_ns, task = std::move(task)] {
+            queue_delay.set(
+                static_cast<std::int64_t>(obs::TraceSink::now_ns() - queued_ns));
+            task();
+        };
         {
             std::lock_guard lock(strands_mutex_);
-            stream->tasks.push_back(std::move(task));
+            stream->tasks.push_back(std::move(timed));
             if (stream->scheduled) return;
             stream->scheduled = true;
             ready_.push_back(stream);
@@ -509,6 +542,13 @@ struct Server::Impl {
             send_frame(conn, MessageType::hello_ack, encode_hello(Hello{}));
             return;
         }
+        static obs::Counter& requests = obs::counter("service.requests");
+        requests.add();
+        obs::Span span("service.request");
+        if (span.active()) {
+            span.attr("type", std::string_view(request_name(frame.type)));
+            span.attr("fd", static_cast<std::int64_t>(conn->fd));
+        }
         switch (frame.type) {
             case MessageType::hello:
                 throw protocol_error(ErrorCode::bad_frame, "duplicate hello");
@@ -539,6 +579,13 @@ struct Server::Impl {
             case MessageType::shutdown:
                 handle_checkpoint(conn, /*then_stop=*/true);
                 return;
+            case MessageType::stats: {
+                StatsResult result;
+                result.json = metrics_snapshot_json(obs::metrics_snapshot());
+                send_frame(conn, MessageType::stats_result,
+                           encode_stats_result(result));
+                return;
+            }
             default:
                 send_error(conn, ErrorCode::unknown_type,
                            "unknown message type " +
@@ -662,6 +709,19 @@ struct Server::Impl {
 
     void apply_ingest(const ConnectionPtr& conn, const StreamPtr& stream,
                       const Ingest& msg) {
+        obs::Span span("service.ingest");
+        if (span.active()) {
+            span.attr("stream", std::string_view(stream->name));
+            span.attr("events", static_cast<std::uint64_t>(msg.events.size()));
+        }
+        // Per-stream instrument: interned once per (stream, kind) pair, so
+        // the mutex-map lookup happens at batch granularity, not per event.
+        obs::Counter& batches =
+            obs::counter("service.stream." + stream->name + ".ingest_batches");
+        obs::Counter& events =
+            obs::counter("service.stream." + stream->name + ".ingest_events");
+        batches.add();
+        events.add(msg.events.size());
         if (msg.first_seq > stream->acked_seq + 1) {
             send_error(conn, ErrorCode::sequence_gap,
                        "ingest starts at seq " + std::to_string(msg.first_seq) +
@@ -726,6 +786,12 @@ struct Server::Impl {
 
     void answer_query(const ConnectionPtr& conn, const StreamPtr& stream,
                       const Query& msg) {
+        obs::Span span("service.query");
+        if (span.active()) {
+            span.attr("stream", std::string_view(stream->name));
+            span.attr("kind", static_cast<std::uint64_t>(msg.kind));
+        }
+        obs::counter("service.stream." + stream->name + ".queries").add();
         StreamSession& session = *stream->session;
         const auto started = std::chrono::steady_clock::now();
         ReportContext context;

@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "linkstream/graph_series.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "temporal/column_shards.hpp"
 #include "temporal/reachability_backend.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace natscale {
@@ -81,11 +84,21 @@ void run_sharded_scans(ThreadPool& pool, std::span<const GraphSeries* const> ser
                        std::size_t max_workers, SinkFactory&& sink_of) {
     std::vector<TemporalReachability> dense_engines(pool.concurrency());
     std::vector<SparseTemporalReachability> sparse_engines(pool.concurrency());
+    static obs::Counter& shards_scanned = obs::counter("sweep.shards_scanned");
     pool.parallel_for(
         plan.tasks.size(),
         [&](std::size_t worker, std::size_t index) {
             const ShardedScanTask& task = plan.tasks[index];
             const GraphSeries& s = *series[task.item];
+            obs::Span span("sweep.shard");
+            if (span.active()) {
+                span.attr("item", static_cast<std::uint64_t>(task.item));
+                span.attr("col_begin", static_cast<std::uint64_t>(task.col_begin));
+                span.attr("col_end", static_cast<std::uint64_t>(task.col_end));
+                span.attr("backend", task.dense ? "dense" : "sparse");
+                span.attr("simd", to_string(active_simd_isa()));
+            }
+            shards_scanned.add();
             const auto sink = sink_of(index, s);
             if (task.dense) {
                 dense_engines[worker].scan_series_columns(s, task.col_begin, task.col_end,

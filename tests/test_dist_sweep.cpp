@@ -25,6 +25,7 @@
 #include "dist/worker.hpp"
 #include "linkstream/binary_io.hpp"
 #include "testing/temp_files.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace natscale {
@@ -227,6 +228,22 @@ TEST_F(DistSweep, FullSearchMatchesSingleProcessJsonByteForByte) {
     EXPECT_EQ(saturation_result_to_json(distributed), saturation_result_to_json(single));
     EXPECT_EQ(distributed.gamma, single.gamma);
     EXPECT_TRUE(identical(distributed.gamma_histogram, single.gamma_histogram));
+}
+
+TEST_F(DistSweep, StatsSurviveMidSearchFailure) {
+    // When the search dies after the engine exists (here: a contract
+    // violation inside find_saturation_scale_with), the accounting gathered
+    // so far must still reach the caller — it is the diagnostic for why the
+    // run failed.  find_time_scale prints the dist summary from exactly
+    // this path.
+    SweepConfig options;
+    options.coarse_points = 1;  // violates the >= 2 precondition mid-search
+    dist::DistSweepStats stats;
+    stats.tasks_total = 777;  // sentinel: must be overwritten, not left stale
+    EXPECT_THROW(dist::find_saturation_scale_dist(*path_, options, {}, &stats),
+                 contract_error);
+    EXPECT_EQ(stats.workers_requested, 2u);  // DistConfig default, set pre-throw
+    EXPECT_EQ(stats.tasks_total, 0u);        // no grid round ever started
 }
 
 }  // namespace

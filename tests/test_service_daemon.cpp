@@ -320,5 +320,35 @@ TEST(ServiceDaemon, CheckpointRestartAnswersBitIdentically) {
     std::filesystem::remove_all(state_dir);
 }
 
+TEST(ServiceDaemon, StatsReturnsLiveMetricsSnapshot) {
+    // The stats message surfaces the process-wide obs registry over the
+    // wire: after some traffic the snapshot must be well-formed schema-1
+    // JSON and carry the request counter plus this stream's ingest totals.
+    Daemon daemon;
+    Client client = daemon.connect();
+    const StreamAck ack = client.register_stream(stream_spec("observed", 10, 150));
+    const auto events = random_events(41, 10, 150, 64);
+    client.ingest(ack.stream_id, 1, events);
+
+    const std::string json = client.stats();
+    EXPECT_NE(json.find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics_snapshot\""), std::string::npos);
+    EXPECT_NE(json.find("\"service.requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"service.stream.observed.ingest_events\""), std::string::npos);
+
+    // A second snapshot after more requests shows a larger request count:
+    // the registry is live, not a boot-time copy.
+    const auto count_of = [](const std::string& text, const std::string& name) {
+        const std::string key = '"' + name + "\":";
+        const std::size_t at = text.find(key);
+        EXPECT_NE(at, std::string::npos) << name;
+        return std::stoull(text.substr(at + key.size()));
+    };
+    client.ping();
+    client.ping();
+    const std::string later = client.stats();
+    EXPECT_GT(count_of(later, "service.requests"), count_of(json, "service.requests"));
+}
+
 }  // namespace
 }  // namespace natscale::service
